@@ -1,0 +1,232 @@
+//! A backfill-style window finder over a slot list — the paper's
+//! complexity comparator.
+//!
+//! Sec. 3 of the paper argues that backfilling, adapted to the slot-list
+//! setting, costs `O(m²)`: it enumerates candidate anchor times (each
+//! slot's start) and, for every anchor, re-scans the whole list for slots
+//! covering `[anchor, anchor + t)`. This module implements exactly that
+//! strategy behind the common [`SlotSelector`] interface so the scaling
+//! experiment (E7) can run all three algorithms on identical inputs.
+//!
+//! Like its ancestors, it is economics-blind: prices are ignored. It keeps
+//! the minimum-performance requirement and per-node runtime scaling so its
+//! windows are comparable to ALP/AMP's.
+
+use ecosched_core::{ResourceRequest, SlotList, TimePoint, Window, WindowSlot};
+use ecosched_select::{ScanStats, SlotSelector};
+
+/// The quadratic anchor-enumeration window search.
+///
+/// # Examples
+///
+/// ```
+/// use ecosched_baseline::BackfillWindow;
+/// use ecosched_core::{
+///     NodeId, Perf, Price, ResourceRequest, Slot, SlotId, SlotList, Span, TimeDelta, TimePoint,
+/// };
+/// use ecosched_select::{ScanStats, SlotSelector};
+///
+/// let slots = (0..2)
+///     .map(|i| {
+///         Slot::new(
+///             SlotId::new(i),
+///             NodeId::new(i as u32),
+///             Perf::UNIT,
+///             Price::from_credits(99), // ignored: backfill is economics-blind
+///             Span::new(TimePoint::new(0), TimePoint::new(200)).unwrap(),
+///         )
+///     })
+///     .collect::<Result<Vec<_>, _>>()?;
+/// let list = SlotList::from_slots(slots)?;
+/// let request = ResourceRequest::new(2, TimeDelta::new(100), Perf::UNIT, Price::from_credits(1))?;
+///
+/// let mut stats = ScanStats::new();
+/// let window = BackfillWindow::new().find_window(&list, &request, &mut stats).unwrap();
+/// assert_eq!(window.start(), TimePoint::new(0));
+/// # Ok::<(), ecosched_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackfillWindow {
+    _private: (),
+}
+
+impl BackfillWindow {
+    /// Creates the baseline window search.
+    #[must_use]
+    pub fn new() -> Self {
+        BackfillWindow::default()
+    }
+}
+
+impl SlotSelector for BackfillWindow {
+    fn name(&self) -> &'static str {
+        "backfill"
+    }
+
+    fn find_window(
+        &self,
+        list: &SlotList,
+        request: &ResourceRequest,
+        stats: &mut ScanStats,
+    ) -> Option<Window> {
+        let n = request.nodes();
+        // Candidate anchors: every slot start, in list (time) order, so the
+        // first hit is the earliest window.
+        for anchor_slot in list {
+            let anchor: TimePoint = anchor_slot.start();
+            stats.acceptance_tests += 1;
+            // Full rescan of the list for this anchor — the O(m) inner loop.
+            let mut members: Vec<WindowSlot> = Vec::with_capacity(n);
+            for slot in list {
+                stats.slots_examined += 1;
+                if !slot.perf().satisfies(request.min_perf()) {
+                    continue;
+                }
+                if slot.start() > anchor {
+                    break; // list is start-ordered: nothing later can cover the anchor
+                }
+                let runtime = request.runtime_on(slot.perf());
+                if !runtime.is_positive() || anchor + runtime > slot.end() {
+                    continue;
+                }
+                if members.iter().any(|m| m.node() == slot.node()) {
+                    continue;
+                }
+                members.push(
+                    WindowSlot::from_slot(slot, runtime)
+                        .expect("positive runtimes construct valid members"),
+                );
+                if members.len() == n {
+                    stats.windows_found += 1;
+                    return Some(
+                        Window::new(anchor, members)
+                            .expect("distinct nodes with positive runtimes form a window"),
+                    );
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecosched_core::{NodeId, Perf, Price, Slot, SlotId, Span, TimeDelta};
+    use ecosched_select::Alp;
+
+    fn slot(id: u64, node: u32, perf: f64, a: i64, b: i64) -> Slot {
+        Slot::new(
+            SlotId::new(id),
+            NodeId::new(node),
+            Perf::from_f64(perf),
+            Price::from_credits(1),
+            Span::new(TimePoint::new(a), TimePoint::new(b)).unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn req(n: usize, t: i64, p: f64) -> ResourceRequest {
+        ResourceRequest::new(
+            n,
+            TimeDelta::new(t),
+            Perf::from_f64(p),
+            Price::from_credits(1_000_000),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn finds_earliest_concurrent_window() {
+        let list = SlotList::from_slots(vec![
+            slot(0, 0, 1.0, 0, 60),
+            slot(1, 1, 1.0, 100, 300),
+            slot(2, 2, 1.0, 120, 300),
+        ])
+        .unwrap();
+        let mut stats = ScanStats::new();
+        let w = BackfillWindow::new()
+            .find_window(&list, &req(2, 50, 1.0), &mut stats)
+            .unwrap();
+        assert_eq!(w.start(), TimePoint::new(120));
+    }
+
+    #[test]
+    fn work_is_quadratic_in_failure_case() {
+        // All slots too short: every anchor rescans its prefix.
+        let slots: Vec<Slot> = (0..40)
+            .map(|i| slot(i, i as u32, 1.0, i as i64 * 10, i as i64 * 10 + 30))
+            .collect();
+        let list = SlotList::from_slots(slots).unwrap();
+        let mut stats = ScanStats::new();
+        assert!(BackfillWindow::new()
+            .find_window(&list, &req(2, 50, 1.0), &mut stats)
+            .is_none());
+        // Strictly more than one pass over the list — the paper's point.
+        assert!(
+            stats.slots_examined > 40,
+            "examined {} slots",
+            stats.slots_examined
+        );
+    }
+
+    #[test]
+    fn agrees_with_alp_on_homogeneous_unpriced_input() {
+        // With uniform prices within the cap and uniform performance, ALP
+        // and the backfill search must find windows with the same start.
+        let list = SlotList::from_slots(vec![
+            slot(0, 0, 1.0, 0, 500),
+            slot(1, 1, 1.0, 40, 500),
+            slot(2, 2, 1.0, 90, 500),
+        ])
+        .unwrap();
+        let request = req(2, 100, 1.0);
+        let mut s1 = ScanStats::new();
+        let mut s2 = ScanStats::new();
+        let b = BackfillWindow::new()
+            .find_window(&list, &request, &mut s1)
+            .unwrap();
+        let a = Alp::new().find_window(&list, &request, &mut s2).unwrap();
+        assert_eq!(a.start(), b.start());
+    }
+
+    #[test]
+    fn respects_min_performance() {
+        let list =
+            SlotList::from_slots(vec![slot(0, 0, 1.0, 0, 500), slot(1, 1, 2.0, 0, 500)]).unwrap();
+        let mut stats = ScanStats::new();
+        let w = BackfillWindow::new()
+            .find_window(&list, &req(1, 50, 1.5), &mut stats)
+            .unwrap();
+        assert!(w.uses_node(NodeId::new(1)));
+    }
+
+    #[test]
+    fn ignores_prices_entirely() {
+        let expensive = Slot::new(
+            SlotId::new(0),
+            NodeId::new(0),
+            Perf::UNIT,
+            Price::from_credits(1_000),
+            Span::new(TimePoint::new(0), TimePoint::new(100)).unwrap(),
+        )
+        .unwrap();
+        let list = SlotList::from_slots(vec![expensive]).unwrap();
+        let request =
+            ResourceRequest::new(1, TimeDelta::new(50), Perf::UNIT, Price::from_credits(1))
+                .unwrap();
+        let mut stats = ScanStats::new();
+        assert!(BackfillWindow::new()
+            .find_window(&list, &request, &mut stats)
+            .is_some());
+    }
+
+    #[test]
+    fn fails_cleanly_when_nothing_fits() {
+        let list = SlotList::from_slots(vec![slot(0, 0, 1.0, 0, 10)]).unwrap();
+        let mut stats = ScanStats::new();
+        assert!(BackfillWindow::new()
+            .find_window(&list, &req(1, 50, 1.0), &mut stats)
+            .is_none());
+    }
+}

@@ -1,0 +1,43 @@
+//! Baseline schedulers the paper compares against.
+//!
+//! Two families:
+//!
+//! * **Queue schedulers over a homogeneous cluster** — [`fcfs`],
+//!   [`conservative_backfill`], and event-driven [`easy_backfill`]
+//!   (Mu'alem & Feitelson / Maui, the paper's refs [11, 12]), built on a
+//!   [`CapacityProfile`] step function.
+//! * **[`BackfillWindow`]** — a backfill-style, economics-blind window
+//!   finder over a vacant-slot list with the `O(m²)` anchor-enumeration
+//!   structure the paper attributes to backfilling, exposed through the
+//!   same [`ecosched_select::SlotSelector`] trait as ALP/AMP so the
+//!   complexity experiment can run all three on identical inputs.
+//!
+//! # Example
+//!
+//! ```
+//! use ecosched_baseline::{conservative_backfill, fcfs, QueuedJob};
+//! use ecosched_core::{JobId, TimeDelta};
+//!
+//! let jobs = vec![
+//!     QueuedJob::new(JobId::new(0), 3, TimeDelta::new(50)),
+//!     QueuedJob::new(JobId::new(1), 4, TimeDelta::new(20)),
+//!     QueuedJob::new(JobId::new(2), 1, TimeDelta::new(40)),
+//! ];
+//! let plain = fcfs(&jobs, 4);
+//! let backfilled = conservative_backfill(&jobs, 4);
+//! assert!(backfilled.makespan() <= plain.makespan());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod backfill_window;
+mod profile;
+mod queue;
+mod schedulers;
+
+pub use backfill_window::BackfillWindow;
+pub use profile::CapacityProfile;
+pub use queue::{Placement, QueuedJob, Schedule};
+pub use schedulers::{conservative_backfill, easy_backfill, fcfs};

@@ -1,0 +1,238 @@
+//! Free-capacity profiles for the homogeneous cluster model.
+//!
+//! Classic backfilling (Mu'alem & Feitelson; the Maui scheduler) reasons
+//! about a single cluster of identical nodes. A [`CapacityProfile`] tracks
+//! how many nodes are free at every instant as a step function, supports
+//! reservations, and answers "earliest time ≥ `from` where `n` nodes stay
+//! free for `d` ticks" — the primitive all three baseline schedulers build
+//! on.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use ecosched_core::{TimeDelta, TimePoint};
+
+/// A step function of free node capacity over time, starting fully free.
+///
+/// # Examples
+///
+/// ```
+/// use ecosched_baseline::CapacityProfile;
+/// use ecosched_core::{TimeDelta, TimePoint};
+///
+/// let mut profile = CapacityProfile::new(4);
+/// profile.reserve(TimePoint::new(0), TimeDelta::new(100), 3);
+/// // A 2-node job must wait for the reservation to end.
+/// assert_eq!(
+///     profile.earliest_fit(TimePoint::new(0), 2, TimeDelta::new(10)),
+///     TimePoint::new(100)
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapacityProfile {
+    total: usize,
+    /// Capacity deltas keyed by time; the running sum of deltas up to and
+    /// including `t` gives the busy-node count at `t`.
+    deltas: BTreeMap<TimePoint, i64>,
+}
+
+impl CapacityProfile {
+    /// Creates a profile for a cluster of `total` identical nodes, all free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is zero.
+    #[must_use]
+    pub fn new(total: usize) -> Self {
+        assert!(total > 0, "a cluster needs at least one node");
+        CapacityProfile {
+            total,
+            deltas: BTreeMap::new(),
+        }
+    }
+
+    /// Total node count.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Free nodes at instant `t`.
+    #[must_use]
+    pub fn free_at(&self, t: TimePoint) -> usize {
+        let busy: i64 = self.deltas.range(..=t).map(|(_, d)| *d).sum();
+        debug_assert!(busy >= 0 && busy <= self.total as i64);
+        self.total - busy as usize
+    }
+
+    /// Minimum free nodes over `[start, start + duration)`.
+    #[must_use]
+    pub fn min_free_over(&self, start: TimePoint, duration: TimeDelta) -> usize {
+        let end = start + duration;
+        let mut min_free = self.free_at(start);
+        for (&t, _) in self.deltas.range((
+            std::ops::Bound::Excluded(start),
+            std::ops::Bound::Excluded(end),
+        )) {
+            min_free = min_free.min(self.free_at(t));
+        }
+        min_free
+    }
+
+    /// The earliest time ≥ `from` at which `nodes` stay free for
+    /// `duration`. Always exists because the profile frees up completely
+    /// after the last reservation.
+    ///
+    /// This is the quadratic heart of backfilling: each candidate anchor
+    /// requires a scan over the change points it spans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` exceeds the cluster size or `duration` is not
+    /// positive.
+    #[must_use]
+    pub fn earliest_fit(&self, from: TimePoint, nodes: usize, duration: TimeDelta) -> TimePoint {
+        assert!(
+            nodes <= self.total,
+            "requested {nodes} nodes from a {}-node cluster",
+            self.total
+        );
+        assert!(duration.is_positive(), "duration must be positive");
+        let mut candidates: Vec<TimePoint> = vec![from];
+        candidates.extend(
+            self.deltas
+                .range((std::ops::Bound::Excluded(from), std::ops::Bound::Unbounded))
+                .map(|(&t, _)| t),
+        );
+        for t in candidates {
+            if self.min_free_over(t, duration) >= nodes {
+                return t;
+            }
+        }
+        unreachable!("after the last change point the whole cluster is free")
+    }
+
+    /// Reserves `nodes` nodes over `[start, start + duration)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reservation would exceed capacity anywhere in its
+    /// span — callers must use [`CapacityProfile::earliest_fit`] first.
+    pub fn reserve(&mut self, start: TimePoint, duration: TimeDelta, nodes: usize) {
+        assert!(
+            self.min_free_over(start, duration) >= nodes,
+            "reservation exceeds free capacity"
+        );
+        *self.deltas.entry(start).or_insert(0) += nodes as i64;
+        *self.deltas.entry(start + duration).or_insert(0) -= nodes as i64;
+        // Keep the map minimal so scans stay proportional to reservations.
+        self.deltas.retain(|_, d| *d != 0);
+    }
+}
+
+impl fmt::Display for CapacityProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "profile({} nodes, {} change points)",
+            self.total,
+            self.deltas.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tp(t: i64) -> TimePoint {
+        TimePoint::new(t)
+    }
+
+    fn td(t: i64) -> TimeDelta {
+        TimeDelta::new(t)
+    }
+
+    #[test]
+    fn fresh_profile_is_fully_free() {
+        let p = CapacityProfile::new(4);
+        assert_eq!(p.free_at(tp(0)), 4);
+        assert_eq!(p.free_at(tp(1_000_000)), 4);
+        assert_eq!(p.min_free_over(tp(0), td(100)), 4);
+    }
+
+    #[test]
+    fn reserve_reduces_free_during_span_only() {
+        let mut p = CapacityProfile::new(4);
+        p.reserve(tp(10), td(20), 3);
+        assert_eq!(p.free_at(tp(9)), 4);
+        assert_eq!(p.free_at(tp(10)), 1);
+        assert_eq!(p.free_at(tp(29)), 1);
+        assert_eq!(p.free_at(tp(30)), 4);
+    }
+
+    #[test]
+    fn min_free_sees_interior_dips() {
+        let mut p = CapacityProfile::new(4);
+        p.reserve(tp(50), td(10), 2);
+        assert_eq!(p.min_free_over(tp(0), td(100)), 2);
+        assert_eq!(p.min_free_over(tp(0), td(50)), 4);
+        assert_eq!(p.min_free_over(tp(60), td(100)), 4);
+    }
+
+    #[test]
+    fn earliest_fit_skips_congestion() {
+        let mut p = CapacityProfile::new(4);
+        p.reserve(tp(0), td(100), 3);
+        // 2 nodes for 10 ticks can't fit before t=100.
+        assert_eq!(p.earliest_fit(tp(0), 2, td(10)), tp(100));
+        // 1 node fits immediately.
+        assert_eq!(p.earliest_fit(tp(0), 1, td(10)), tp(0));
+    }
+
+    #[test]
+    fn earliest_fit_respects_from() {
+        let p = CapacityProfile::new(2);
+        assert_eq!(p.earliest_fit(tp(42), 2, td(5)), tp(42));
+    }
+
+    #[test]
+    fn earliest_fit_finds_gap_between_reservations() {
+        let mut p = CapacityProfile::new(2);
+        p.reserve(tp(0), td(10), 2);
+        p.reserve(tp(50), td(10), 2);
+        // A 40-tick 2-node job fits exactly in the gap [10, 50).
+        assert_eq!(p.earliest_fit(tp(0), 2, td(40)), tp(10));
+        // A 41-tick job must wait until after the second reservation.
+        assert_eq!(p.earliest_fit(tp(0), 2, td(41)), tp(60));
+    }
+
+    #[test]
+    fn stacked_reservations_accumulate() {
+        let mut p = CapacityProfile::new(4);
+        p.reserve(tp(0), td(50), 2);
+        p.reserve(tp(0), td(50), 2);
+        assert_eq!(p.free_at(tp(0)), 0);
+        assert_eq!(p.earliest_fit(tp(0), 1, td(1)), tp(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "reservation exceeds free capacity")]
+    fn over_reservation_panics() {
+        let mut p = CapacityProfile::new(2);
+        p.reserve(tp(0), td(10), 2);
+        p.reserve(tp(5), td(10), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "requested 3 nodes")]
+    fn oversized_request_panics() {
+        let p = CapacityProfile::new(2);
+        let _ = p.earliest_fit(tp(0), 3, td(1));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", CapacityProfile::new(2)).is_empty());
+    }
+}

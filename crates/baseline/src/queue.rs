@@ -1,0 +1,191 @@
+//! Job queues and schedules for the homogeneous baseline schedulers.
+
+use std::fmt;
+
+use ecosched_core::{JobId, TimeDelta, TimePoint};
+use serde::{Deserialize, Serialize};
+
+/// A rigid parallel job for the classic cluster model: `nodes` identical
+/// nodes for `duration` ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueuedJob {
+    /// Job identifier.
+    pub id: JobId,
+    /// Number of nodes required.
+    pub nodes: usize,
+    /// Requested runtime.
+    pub duration: TimeDelta,
+}
+
+impl QueuedJob {
+    /// Creates a queued job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero or `duration` is not positive.
+    #[must_use]
+    pub fn new(id: JobId, nodes: usize, duration: TimeDelta) -> Self {
+        assert!(nodes > 0, "a job needs at least one node");
+        assert!(duration.is_positive(), "duration must be positive");
+        QueuedJob {
+            id,
+            nodes,
+            duration,
+        }
+    }
+}
+
+impl fmt::Display for QueuedJob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({}n × {})", self.id, self.nodes, self.duration)
+    }
+}
+
+/// One scheduled job: where and when it runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    /// The job.
+    pub job: JobId,
+    /// Node count occupied.
+    pub nodes: usize,
+    /// Start time.
+    pub start: TimePoint,
+    /// End time (start + duration).
+    pub end: TimePoint,
+}
+
+/// A complete schedule produced by a baseline scheduler.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    placements: Vec<Placement>,
+}
+
+impl Schedule {
+    /// Creates a schedule from placements in queue order.
+    #[must_use]
+    pub fn new(placements: Vec<Placement>) -> Self {
+        Schedule { placements }
+    }
+
+    /// The placements in queue order.
+    #[must_use]
+    pub fn placements(&self) -> &[Placement] {
+        &self.placements
+    }
+
+    /// Looks up a job's placement.
+    #[must_use]
+    pub fn get(&self, job: JobId) -> Option<&Placement> {
+        self.placements.iter().find(|p| p.job == job)
+    }
+
+    /// The latest completion time, or the epoch for an empty schedule.
+    #[must_use]
+    pub fn makespan(&self) -> TimePoint {
+        self.placements
+            .iter()
+            .map(|p| p.end)
+            .max()
+            .unwrap_or(TimePoint::ZERO)
+    }
+
+    /// Mean job start time (a waiting-time proxy; all queues arrive at 0).
+    #[must_use]
+    pub fn mean_start(&self) -> f64 {
+        if self.placements.is_empty() {
+            0.0
+        } else {
+            self.placements
+                .iter()
+                .map(|p| p.start.ticks() as f64)
+                .sum::<f64>()
+                / self.placements.len() as f64
+        }
+    }
+
+    /// Node-time utilization over `[0, makespan)` for a cluster of `total`
+    /// nodes.
+    #[must_use]
+    pub fn utilization(&self, total: usize) -> f64 {
+        let horizon = self.makespan().ticks();
+        if horizon == 0 || total == 0 {
+            return 0.0;
+        }
+        let used: i64 = self
+            .placements
+            .iter()
+            .map(|p| (p.end - p.start).ticks() * p.nodes as i64)
+            .sum();
+        used as f64 / (horizon * total as i64) as f64
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "schedule ({} jobs):", self.placements.len())?;
+        for p in &self.placements {
+            writeln!(
+                f,
+                "  {} on {} nodes [{}, {})",
+                p.job, p.nodes, p.start, p.end
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn placement(job: u32, nodes: usize, start: i64, end: i64) -> Placement {
+        Placement {
+            job: JobId::new(job),
+            nodes,
+            start: TimePoint::new(start),
+            end: TimePoint::new(end),
+        }
+    }
+
+    #[test]
+    fn makespan_is_latest_end() {
+        let s = Schedule::new(vec![placement(0, 1, 0, 10), placement(1, 1, 5, 30)]);
+        assert_eq!(s.makespan(), TimePoint::new(30));
+        assert_eq!(Schedule::default().makespan(), TimePoint::ZERO);
+    }
+
+    #[test]
+    fn utilization_counts_node_ticks() {
+        // 2 nodes, horizon 20: job uses 1 node × 20 → 50 %.
+        let s = Schedule::new(vec![placement(0, 1, 0, 20)]);
+        assert!((s.utilization(2) - 0.5).abs() < 1e-12);
+        assert_eq!(Schedule::default().utilization(2), 0.0);
+    }
+
+    #[test]
+    fn mean_start_averages() {
+        let s = Schedule::new(vec![placement(0, 1, 0, 10), placement(1, 1, 10, 20)]);
+        assert!((s.mean_start() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn get_finds_placements() {
+        let s = Schedule::new(vec![placement(7, 2, 0, 10)]);
+        assert_eq!(s.get(JobId::new(7)).unwrap().nodes, 2);
+        assert!(s.get(JobId::new(8)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_node_job_panics() {
+        let _ = QueuedJob::new(JobId::new(0), 0, TimeDelta::new(1));
+    }
+
+    #[test]
+    fn display_formats() {
+        let j = QueuedJob::new(JobId::new(1), 2, TimeDelta::new(30));
+        assert!(format!("{j}").contains("2n"));
+        let s = Schedule::new(vec![placement(0, 1, 0, 10)]);
+        assert!(format!("{s}").contains("job0"));
+    }
+}

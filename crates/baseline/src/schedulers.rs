@@ -1,0 +1,322 @@
+//! The classic queue schedulers: FCFS, conservative backfilling, and a
+//! single-shadow EASY approximation.
+//!
+//! These are the comparators the paper positions ALP/AMP against (refs
+//! [11, 12]): they assume a homogeneous cluster, have no notion of price,
+//! and reason about one job queue rather than a batch with alternatives.
+
+use ecosched_core::TimePoint;
+
+use crate::profile::CapacityProfile;
+use crate::queue::{Placement, QueuedJob, Schedule};
+
+/// Strict first-come-first-served: each job starts at its earliest fit, but
+/// never before the previous job's start (no overtaking).
+///
+/// # Panics
+///
+/// Panics if any job requests more nodes than the cluster has.
+///
+/// # Examples
+///
+/// ```
+/// use ecosched_baseline::{fcfs, QueuedJob};
+/// use ecosched_core::{JobId, TimeDelta};
+///
+/// let jobs = vec![
+///     QueuedJob::new(JobId::new(0), 2, TimeDelta::new(10)),
+///     QueuedJob::new(JobId::new(1), 1, TimeDelta::new(10)),
+/// ];
+/// let schedule = fcfs(&jobs, 2);
+/// assert_eq!(schedule.placements()[1].start.ticks(), 10);
+/// ```
+#[must_use]
+pub fn fcfs(jobs: &[QueuedJob], nodes: usize) -> Schedule {
+    let mut profile = CapacityProfile::new(nodes);
+    let mut placements = Vec::with_capacity(jobs.len());
+    let mut frontier = TimePoint::ZERO;
+    for job in jobs {
+        let start = profile.earliest_fit(frontier, job.nodes, job.duration);
+        profile.reserve(start, job.duration, job.nodes);
+        frontier = start;
+        placements.push(Placement {
+            job: job.id,
+            nodes: job.nodes,
+            start,
+            end: start + job.duration,
+        });
+    }
+    Schedule::new(placements)
+}
+
+/// Conservative backfilling: every job receives a reservation at its
+/// earliest fit in queue order; later jobs may slide into earlier holes as
+/// long as the profile (which includes all earlier reservations) admits
+/// them — so no earlier-queued job is ever delayed.
+///
+/// # Examples
+///
+/// ```
+/// use ecosched_baseline::{conservative_backfill, QueuedJob};
+/// use ecosched_core::{JobId, TimeDelta};
+///
+/// let jobs = vec![
+///     QueuedJob::new(JobId::new(0), 1, TimeDelta::new(100)), // long narrow job
+///     QueuedJob::new(JobId::new(1), 2, TimeDelta::new(10)),  // wide job must wait
+///     QueuedJob::new(JobId::new(2), 1, TimeDelta::new(5)),   // backfills beside job 0
+/// ];
+/// let schedule = conservative_backfill(&jobs, 2);
+/// assert_eq!(schedule.get(JobId::new(2)).unwrap().start.ticks(), 0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if any job requests more nodes than the cluster has.
+#[must_use]
+pub fn conservative_backfill(jobs: &[QueuedJob], nodes: usize) -> Schedule {
+    let mut profile = CapacityProfile::new(nodes);
+    let mut placements = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        let start = profile.earliest_fit(TimePoint::ZERO, job.nodes, job.duration);
+        profile.reserve(start, job.duration, job.nodes);
+        placements.push(Placement {
+            job: job.id,
+            nodes: job.nodes,
+            start,
+            end: start + job.duration,
+        });
+    }
+    Schedule::new(placements)
+}
+
+/// EASY (aggressive) backfilling, event-driven as in Mu'alem & Feitelson:
+/// only the head of the waiting queue holds a reservation (its *shadow
+/// time*); any other waiting job may start immediately if it either
+/// finishes before the shadow time or uses only the *extra* nodes the head
+/// will not need — so the head is never delayed, but later-queued jobs may
+/// be.
+///
+/// # Examples
+///
+/// ```
+/// use ecosched_baseline::{easy_backfill, fcfs, QueuedJob};
+/// use ecosched_core::{JobId, TimeDelta};
+///
+/// let jobs = vec![
+///     QueuedJob::new(JobId::new(0), 3, TimeDelta::new(50)),
+///     QueuedJob::new(JobId::new(1), 4, TimeDelta::new(20)), // blocked head
+///     QueuedJob::new(JobId::new(2), 1, TimeDelta::new(45)), // backfills
+/// ];
+/// let schedule = easy_backfill(&jobs, 4);
+/// // The backfill finishes before the head's shadow time, so it starts now.
+/// assert_eq!(schedule.get(JobId::new(2)).unwrap().start.ticks(), 0);
+/// assert!(schedule.makespan() <= fcfs(&jobs, 4).makespan());
+/// ```
+///
+/// # Panics
+///
+/// Panics if any job requests more nodes than the cluster has.
+#[must_use]
+pub fn easy_backfill(jobs: &[QueuedJob], nodes: usize) -> Schedule {
+    for job in jobs {
+        assert!(
+            job.nodes <= nodes,
+            "{} requests {} nodes from a {nodes}-node cluster",
+            job.id,
+            job.nodes
+        );
+    }
+    let mut placements: Vec<Placement> = Vec::with_capacity(jobs.len());
+    let mut pending: std::collections::VecDeque<QueuedJob> = jobs.iter().copied().collect();
+    // (end, nodes) of currently running jobs.
+    let mut running: Vec<(TimePoint, usize)> = Vec::new();
+    let mut now = TimePoint::ZERO;
+
+    while !pending.is_empty() {
+        running.retain(|&(end, _)| end > now);
+        let used: usize = running.iter().map(|r| r.1).sum();
+        let mut free = nodes - used;
+
+        // Start queue heads while they fit.
+        while let Some(&head) = pending.front() {
+            if head.nodes > free {
+                break;
+            }
+            free -= head.nodes;
+            running.push((now + head.duration, head.nodes));
+            placements.push(Placement {
+                job: head.id,
+                nodes: head.nodes,
+                start: now,
+                end: now + head.duration,
+            });
+            pending.pop_front();
+        }
+        let Some(&head) = pending.front() else { break };
+
+        // Shadow time: when enough running jobs end for the head to start.
+        let mut ends: Vec<(TimePoint, usize)> = running.clone();
+        ends.sort_by_key(|&(end, _)| end);
+        let mut avail = free;
+        let mut shadow = now;
+        for &(end, n) in &ends {
+            if avail >= head.nodes {
+                break;
+            }
+            avail += n;
+            shadow = end;
+        }
+        debug_assert!(avail >= head.nodes, "head fits once everything ends");
+        // Nodes the head leaves over at its shadow start.
+        let mut extra = avail - head.nodes;
+
+        // Backfill pass over the rest of the queue, in order.
+        let mut i = 1;
+        while i < pending.len() {
+            let cand = pending[i];
+            if cand.nodes <= free {
+                let fits_before_shadow = now + cand.duration <= shadow;
+                if fits_before_shadow || cand.nodes <= extra {
+                    free -= cand.nodes;
+                    if !fits_before_shadow {
+                        extra -= cand.nodes;
+                    }
+                    running.push((now + cand.duration, cand.nodes));
+                    placements.push(Placement {
+                        job: cand.id,
+                        nodes: cand.nodes,
+                        start: now,
+                        end: now + cand.duration,
+                    });
+                    pending.remove(i);
+                    continue;
+                }
+            }
+            i += 1;
+        }
+
+        // Advance to the next completion event.
+        now = running
+            .iter()
+            .map(|r| r.0)
+            .filter(|&e| e > now)
+            .min()
+            .expect("a blocked head implies something is running");
+    }
+    Schedule::new(placements)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecosched_core::{JobId, TimeDelta};
+
+    fn job(id: u32, nodes: usize, duration: i64) -> QueuedJob {
+        QueuedJob::new(JobId::new(id), nodes, TimeDelta::new(duration))
+    }
+
+    #[test]
+    fn fcfs_never_overtakes() {
+        // Wide job blocks the cluster; the small job after it must wait
+        // even though a hole exists before.
+        let jobs = vec![job(0, 1, 100), job(1, 2, 10), job(2, 1, 5)];
+        let s = fcfs(&jobs, 2);
+        let starts: Vec<i64> = s.placements().iter().map(|p| p.start.ticks()).collect();
+        assert_eq!(starts[0], 0);
+        assert_eq!(starts[1], 100); // needs both nodes → waits for job 0
+        assert!(starts[2] >= starts[1]);
+    }
+
+    #[test]
+    fn conservative_backfills_into_holes() {
+        // Same queue: job 2 (1 node, 5 ticks) fits beside job 0 at t=0
+        // without delaying job 1's reservation at t=100.
+        let jobs = vec![job(0, 1, 100), job(1, 2, 10), job(2, 1, 5)];
+        let s = conservative_backfill(&jobs, 2);
+        assert_eq!(s.get(JobId::new(2)).unwrap().start.ticks(), 0);
+        assert_eq!(s.get(JobId::new(1)).unwrap().start.ticks(), 100);
+    }
+
+    #[test]
+    fn conservative_never_delays_earlier_jobs() {
+        let jobs: Vec<QueuedJob> = (0..20)
+            .map(|i| job(i, 1 + (i as usize % 3), 10 + i as i64))
+            .collect();
+        let alone: Vec<TimePoint> = jobs
+            .iter()
+            .scan(CapacityProfile::new(4), |p, j| {
+                let s = p.earliest_fit(TimePoint::ZERO, j.nodes, j.duration);
+                p.reserve(s, j.duration, j.nodes);
+                Some(s)
+            })
+            .collect();
+        let s = conservative_backfill(&jobs, 4);
+        for (placement, expected) in s.placements().iter().zip(alone) {
+            assert_eq!(placement.start, expected);
+        }
+    }
+
+    #[test]
+    fn easy_beats_or_matches_fcfs_makespan() {
+        let jobs = vec![job(0, 3, 50), job(1, 4, 20), job(2, 1, 45), job(3, 1, 45)];
+        let f = fcfs(&jobs, 4);
+        let e = easy_backfill(&jobs, 4);
+        assert!(e.makespan() <= f.makespan());
+        // Jobs 2 and 3 backfill beside job 0.
+        assert_eq!(e.get(JobId::new(2)).unwrap().start.ticks(), 0);
+    }
+
+    #[test]
+    fn easy_does_not_delay_the_head_reservation() {
+        // Head (job 1 after job 0 runs) wants the whole cluster at t=50;
+        // a 60-tick backfill candidate must not start at 0 on the last
+        // free node if that would push the head past 50. Our profile
+        // encodes the head's reservation, so earliest_fit lands at 70.
+        let jobs = vec![job(0, 3, 50), job(1, 4, 20), job(2, 1, 60)];
+        let e = easy_backfill(&jobs, 4);
+        assert_eq!(e.get(JobId::new(1)).unwrap().start.ticks(), 50);
+        assert_eq!(e.get(JobId::new(2)).unwrap().start.ticks(), 70);
+    }
+
+    #[test]
+    fn single_job_all_schedulers_agree() {
+        let jobs = vec![job(0, 2, 30)];
+        for schedule in [
+            fcfs(&jobs, 4),
+            conservative_backfill(&jobs, 4),
+            easy_backfill(&jobs, 4),
+        ] {
+            assert_eq!(schedule.placements().len(), 1);
+            assert_eq!(schedule.placements()[0].start, TimePoint::ZERO);
+            assert_eq!(schedule.makespan().ticks(), 30);
+        }
+    }
+
+    #[test]
+    fn empty_queue_gives_empty_schedule() {
+        assert!(fcfs(&[], 2).placements().is_empty());
+        assert!(conservative_backfill(&[], 2).placements().is_empty());
+        assert!(easy_backfill(&[], 2).placements().is_empty());
+    }
+
+    #[test]
+    fn schedules_never_exceed_capacity() {
+        let jobs: Vec<QueuedJob> = (0..30)
+            .map(|i| job(i, 1 + (i as usize * 7 % 4), 5 + (i as i64 * 13) % 50))
+            .collect();
+        for schedule in [
+            fcfs(&jobs, 4),
+            conservative_backfill(&jobs, 4),
+            easy_backfill(&jobs, 4),
+        ] {
+            // Re-play placements into a fresh profile; reserve() panics on
+            // oversubscription.
+            let mut p = CapacityProfile::new(4);
+            let mut by_start = schedule.placements().to_vec();
+            by_start.sort_by_key(|pl| pl.start);
+            for pl in by_start {
+                p.reserve(pl.start, pl.end - pl.start, pl.nodes);
+            }
+        }
+    }
+}

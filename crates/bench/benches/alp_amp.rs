@@ -1,0 +1,69 @@
+//! Bench: ALP/AMP window search and the full alternatives search, scaling
+//! with the slot-list size m. Supports the paper's O(m) claim (compare
+//! with the `backfill` bench's quadratic growth).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecosched_bench::{batch, slot_list, typical_request, worst_case_request};
+use ecosched_select::{find_alternatives, Alp, Amp, ScanStats, SlotSelector};
+use std::hint::black_box;
+
+fn bench_find_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("find_window_worst_case");
+    for m in [250usize, 1_000, 4_000, 16_000] {
+        let list = slot_list(m, 42);
+        let request = worst_case_request();
+        group.bench_with_input(BenchmarkId::new("alp", m), &m, |b, _| {
+            b.iter(|| {
+                let mut stats = ScanStats::new();
+                black_box(Alp::new().find_window(black_box(&list), &request, &mut stats))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("amp", m), &m, |b, _| {
+            b.iter(|| {
+                let mut stats = ScanStats::new();
+                black_box(Amp::new().find_window(black_box(&list), &request, &mut stats))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_find_window_satisfiable(c: &mut Criterion) {
+    let mut group = c.benchmark_group("find_window_satisfiable");
+    let list = slot_list(135, 42); // the paper's typical list size
+    let request = typical_request();
+    group.bench_function("alp", |b| {
+        b.iter(|| {
+            let mut stats = ScanStats::new();
+            black_box(Alp::new().find_window(black_box(&list), &request, &mut stats))
+        });
+    });
+    group.bench_function("amp", |b| {
+        b.iter(|| {
+            let mut stats = ScanStats::new();
+            black_box(Amp::new().find_window(black_box(&list), &request, &mut stats))
+        });
+    });
+    group.finish();
+}
+
+fn bench_alternatives_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alternatives_search");
+    let list = slot_list(135, 7);
+    let jobs = batch(5, 7);
+    group.bench_function("alp", |b| {
+        b.iter(|| black_box(find_alternatives(Alp::new(), &list, &jobs).unwrap()));
+    });
+    group.bench_function("amp", |b| {
+        b.iter(|| black_box(find_alternatives(Amp::new(), &list, &jobs).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_find_window,
+    bench_find_window_satisfiable,
+    bench_alternatives_search
+);
+criterion_main!(benches);

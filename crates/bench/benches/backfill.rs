@@ -1,0 +1,51 @@
+//! Bench: the backfill-style quadratic window search and the classic
+//! queue schedulers — the comparison side of the Sec. 3 complexity claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecosched_baseline::{conservative_backfill, easy_backfill, fcfs, BackfillWindow, QueuedJob};
+use ecosched_bench::{slot_list, worst_case_request};
+use ecosched_core::{JobId, TimeDelta};
+use ecosched_select::{ScanStats, SlotSelector};
+use std::hint::black_box;
+
+fn bench_backfill_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backfill_window_worst_case");
+    // Smaller sweep: quadratic cost makes 16k slots impractical per-iter.
+    for m in [250usize, 1_000, 4_000] {
+        let list = slot_list(m, 42);
+        let request = worst_case_request();
+        group.bench_with_input(BenchmarkId::new("backfill", m), &m, |b, _| {
+            b.iter(|| {
+                let mut stats = ScanStats::new();
+                black_box(BackfillWindow::new().find_window(black_box(&list), &request, &mut stats))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_queue_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue_schedulers");
+    let jobs: Vec<QueuedJob> = (0..64u32)
+        .map(|i| {
+            QueuedJob::new(
+                JobId::new(i),
+                1 + (i as usize * 7) % 8,
+                TimeDelta::new(10 + i64::from(i * 13) % 90),
+            )
+        })
+        .collect();
+    group.bench_function("fcfs", |b| {
+        b.iter(|| black_box(fcfs(black_box(&jobs), 8)));
+    });
+    group.bench_function("conservative", |b| {
+        b.iter(|| black_box(conservative_backfill(black_box(&jobs), 8)));
+    });
+    group.bench_function("easy", |b| {
+        b.iter(|| black_box(easy_backfill(black_box(&jobs), 8)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_backfill_window, bench_queue_schedulers);
+criterion_main!(benches);

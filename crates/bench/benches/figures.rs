@@ -1,0 +1,82 @@
+//! Bench: scaled-down regenerations of the paper's figures — how long
+//! each experiment costs per iteration — plus the E8 length-rule ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecosched_bench::{batch, slot_list};
+use ecosched_experiments::paper_example;
+use ecosched_experiments::runner::{run_seed, ExperimentConfig};
+use ecosched_select::{find_alternatives, Amp, LengthRule};
+use ecosched_sim::Criterion as VoCriterion;
+use std::hint::black_box;
+
+fn bench_fig2_3(c: &mut Criterion) {
+    c.bench_function("fig2_3_worked_example", |b| {
+        b.iter(|| black_box(paper_example::run().unwrap()));
+    });
+}
+
+fn bench_fig4_iteration(c: &mut Criterion) {
+    let config = ExperimentConfig {
+        criterion: VoCriterion::MinTimeUnderBudget,
+        ..ExperimentConfig::default()
+    };
+    let mut seed = 0u64;
+    c.bench_function("fig4_paired_iteration", |b| {
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            black_box(run_seed(black_box(&config), seed % 1_000))
+        });
+    });
+}
+
+fn bench_fig6_iteration(c: &mut Criterion) {
+    let config = ExperimentConfig {
+        criterion: VoCriterion::MinCostUnderTime,
+        ..ExperimentConfig::default()
+    };
+    let mut seed = 0u64;
+    c.bench_function("fig6_paired_iteration", |b| {
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            black_box(run_seed(black_box(&config), seed % 1_000))
+        });
+    });
+}
+
+fn bench_length_rule_ablation(c: &mut Criterion) {
+    // E8: the R1 ablation — the literal inequality admits different slots,
+    // so both correctness (tested elsewhere) and cost differ.
+    let list = slot_list(135, 3);
+    let jobs = batch(5, 3);
+    let mut group = c.benchmark_group("length_rule_ablation");
+    group.bench_function("corrected", |b| {
+        b.iter(|| {
+            black_box(
+                find_alternatives(Amp::with_length_rule(LengthRule::Corrected), &list, &jobs)
+                    .unwrap(),
+            )
+        });
+    });
+    group.bench_function("paper_literal", |b| {
+        b.iter(|| {
+            black_box(
+                find_alternatives(
+                    Amp::with_length_rule(LengthRule::PaperLiteral),
+                    &list,
+                    &jobs,
+                )
+                .unwrap(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig2_3,
+    bench_fig4_iteration,
+    bench_fig6_iteration,
+    bench_length_rule_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Bench: the combination optimizers — the backward-run DP of Eq. (1)
+//! (both criteria), the exact Pareto sweep, and the VO-limit computation,
+//! on alternatives tables produced by the real search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecosched_bench::{batch, slot_list};
+use ecosched_core::{JobAlternatives, Money};
+use ecosched_optimize::{
+    min_cost_under_time, min_time_under_budget, time_quota, vo_budget, ParetoFrontier,
+};
+use ecosched_select::{find_alternatives, Amp};
+use std::hint::black_box;
+
+/// A realistic alternatives table: run AMP's search over generated inputs.
+fn table(jobs: usize, seed: u64) -> Vec<JobAlternatives> {
+    let list = slot_list(135, seed);
+    let jobs = batch(jobs, seed);
+    let outcome = find_alternatives(Amp::new(), &list, &jobs).unwrap();
+    outcome
+        .alternatives
+        .per_job()
+        .iter()
+        .filter(|ja| !ja.is_empty())
+        .cloned()
+        .collect()
+}
+
+fn bench_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backward_run_dp");
+    for jobs in [3usize, 5, 7] {
+        let t = table(jobs, jobs as u64);
+        if t.is_empty() {
+            continue;
+        }
+        let quota = time_quota(&t).max(ecosched_core::TimeDelta::new(1));
+        let budget = vo_budget(&t).unwrap_or(Money::from_credits(10_000));
+        let resolution = Money::from_micro((budget.micro() / 1_500).max(1));
+        group.bench_with_input(
+            BenchmarkId::new("min_cost_under_time", jobs),
+            &jobs,
+            |b, _| {
+                b.iter(|| black_box(min_cost_under_time(black_box(&t), quota)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("min_time_under_budget", jobs),
+            &jobs,
+            |b, _| {
+                b.iter(|| black_box(min_time_under_budget(black_box(&t), budget, resolution)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_pareto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pareto_frontier");
+    for jobs in [3usize, 5, 7] {
+        let t = table(jobs, jobs as u64);
+        if t.is_empty() {
+            continue;
+        }
+        let budget = vo_budget(&t).unwrap_or(Money::from_credits(10_000));
+        group.bench_with_input(BenchmarkId::new("build_and_solve", jobs), &jobs, |b, _| {
+            b.iter(|| {
+                let frontier = ParetoFrontier::new(black_box(&t)).unwrap();
+                black_box(frontier.min_time_under_budget(budget))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_vo_limits(c: &mut Criterion) {
+    let t = table(5, 5);
+    c.bench_function("vo_limits_eq2_eq3", |b| {
+        b.iter(|| {
+            let quota = time_quota(black_box(&t));
+            black_box((quota, vo_budget(&t)))
+        });
+    });
+}
+
+criterion_group!(benches, bench_dp, bench_pareto, bench_vo_limits);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Shared fixtures for the ecosched criterion benches.
+
+use ecosched_core::{Batch, Perf, Price, ResourceRequest, SlotList, TimeDelta};
+use ecosched_sim::{JobGenConfig, JobGenerator, SlotGenConfig, SlotGenerator};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Generates a slot list with exactly `m` slots under the paper's
+/// distributions, deterministically.
+#[must_use]
+pub fn slot_list(m: usize, seed: u64) -> SlotList {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    SlotGenerator::new(SlotGenConfig::default()).generate_exact(&mut rng, m)
+}
+
+/// Generates a batch with exactly `jobs` jobs, deterministically.
+#[must_use]
+pub fn batch(jobs: usize, seed: u64) -> Batch {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    JobGenerator::new(JobGenConfig::default()).generate_exact(&mut rng, jobs)
+}
+
+/// A satisfiable mid-sized request for window-search benches.
+#[must_use]
+pub fn typical_request() -> ResourceRequest {
+    ResourceRequest::new(4, TimeDelta::new(100), Perf::UNIT, Price::from_credits(4))
+        .expect("request parameters are valid")
+}
+
+/// An unsatisfiable request that forces a full worst-case scan.
+#[must_use]
+pub fn worst_case_request() -> ResourceRequest {
+    ResourceRequest::new(
+        500,
+        TimeDelta::new(100),
+        Perf::UNIT,
+        Price::from_credits(1_000_000),
+    )
+    .expect("request parameters are valid")
+}

@@ -1,0 +1,152 @@
+//! Error types for the core domain model.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::resource::NodeId;
+use crate::slot::SlotId;
+use crate::time::Span;
+
+/// Errors raised while constructing or manipulating the core domain model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A slot was constructed with a zero-length span.
+    EmptySlot {
+        /// The offending slot id.
+        id: SlotId,
+        /// The zero-length span.
+        span: Span,
+    },
+    /// A slot id was not present in the slot list.
+    SlotNotFound {
+        /// The missing slot id.
+        id: SlotId,
+    },
+    /// Two slots in one list share an id.
+    DuplicateSlotId {
+        /// The duplicated id.
+        id: SlotId,
+    },
+    /// Two slots on the same node overlap in time, which cannot happen in a
+    /// well-formed local schedule.
+    OverlappingSlots {
+        /// The node carrying both slots.
+        node: NodeId,
+        /// First overlapping slot.
+        first: SlotId,
+        /// Second overlapping slot.
+        second: SlotId,
+    },
+    /// A subtraction cut reaches outside the vacant span of its slot.
+    CutOutsideSlot {
+        /// The slot being cut.
+        id: SlotId,
+        /// The slot's vacant span.
+        slot_span: Span,
+        /// The requested cut.
+        cut: Span,
+    },
+    /// A resource request failed validation.
+    InvalidRequest {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A window was constructed with no slots.
+    EmptyWindow,
+    /// A window was constructed with two tasks on the same node.
+    DuplicateNode {
+        /// The duplicated node.
+        node: NodeId,
+    },
+    /// A window slot was constructed with a non-positive runtime.
+    NonPositiveRuntime {
+        /// The node whose runtime was non-positive.
+        node: NodeId,
+    },
+    /// A batch operation was attempted on an empty batch.
+    EmptyBatch,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::EmptySlot { id, span } => {
+                write!(f, "slot {id} has empty span {span}")
+            }
+            CoreError::SlotNotFound { id } => write!(f, "slot {id} not found in slot list"),
+            CoreError::DuplicateSlotId { id } => write!(f, "duplicate slot id {id}"),
+            CoreError::OverlappingSlots {
+                node,
+                first,
+                second,
+            } => write!(f, "slots {first} and {second} overlap on node {node}"),
+            CoreError::CutOutsideSlot { id, slot_span, cut } => {
+                write!(f, "cut {cut} reaches outside slot {id} span {slot_span}")
+            }
+            CoreError::InvalidRequest { reason } => {
+                write!(f, "invalid resource request: {reason}")
+            }
+            CoreError::EmptyWindow => write!(f, "window must contain at least one slot"),
+            CoreError::DuplicateNode { node } => {
+                write!(f, "window assigns two tasks to node {node}")
+            }
+            CoreError::NonPositiveRuntime { node } => {
+                write!(f, "window slot on node {node} has non-positive runtime")
+            }
+            CoreError::EmptyBatch => write!(f, "batch contains no jobs"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::TimePoint;
+
+    #[test]
+    fn display_is_never_empty() {
+        let span = Span::new(TimePoint::new(1), TimePoint::new(1)).unwrap();
+        let errors: Vec<CoreError> = vec![
+            CoreError::EmptySlot {
+                id: SlotId::new(1),
+                span,
+            },
+            CoreError::SlotNotFound { id: SlotId::new(2) },
+            CoreError::DuplicateSlotId { id: SlotId::new(3) },
+            CoreError::OverlappingSlots {
+                node: NodeId::new(0),
+                first: SlotId::new(1),
+                second: SlotId::new(2),
+            },
+            CoreError::CutOutsideSlot {
+                id: SlotId::new(4),
+                slot_span: span,
+                cut: span,
+            },
+            CoreError::InvalidRequest {
+                reason: "nodes must be positive".into(),
+            },
+            CoreError::EmptyWindow,
+            CoreError::DuplicateNode {
+                node: NodeId::new(1),
+            },
+            CoreError::NonPositiveRuntime {
+                node: NodeId::new(2),
+            },
+            CoreError::EmptyBatch,
+        ];
+        for err in errors {
+            assert!(!format!("{err}").is_empty());
+            assert!(!format!("{err:?}").is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

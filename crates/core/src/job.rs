@@ -1,0 +1,244 @@
+//! Jobs and job batches.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+use crate::request::ResourceRequest;
+
+/// Identifier of a job within a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(u32);
+
+impl JobId {
+    /// Creates a job identifier.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        JobId(index)
+    }
+
+    /// Returns the underlying index.
+    #[must_use]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+/// An independent parallel job: an id plus its resource request.
+///
+/// # Examples
+///
+/// ```
+/// use ecosched_core::{Job, JobId, Perf, Price, ResourceRequest, TimeDelta};
+///
+/// let req = ResourceRequest::new(2, TimeDelta::new(80), Perf::UNIT, Price::from_credits(5))?;
+/// let job = Job::new(JobId::new(0), req);
+/// assert_eq!(job.request().nodes(), 2);
+/// # Ok::<(), ecosched_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Job {
+    id: JobId,
+    request: ResourceRequest,
+}
+
+impl Job {
+    /// Creates a job.
+    #[must_use]
+    pub const fn new(id: JobId, request: ResourceRequest) -> Self {
+        Job { id, request }
+    }
+
+    /// The job identifier.
+    #[must_use]
+    pub const fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// The job's resource request.
+    #[must_use]
+    pub const fn request(&self) -> &ResourceRequest {
+        &self.request
+    }
+}
+
+impl fmt::Display for Job {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.id, self.request)
+    }
+}
+
+/// An ordered batch of jobs (the paper's `J = {j_1, …, j_n}`).
+///
+/// Order encodes priority: the alternatives search serves earlier jobs
+/// first, exactly as the worked example assumes ("Job 1 has the highest
+/// priority").
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Batch {
+    jobs: Vec<Job>,
+}
+
+impl Batch {
+    /// Creates an empty batch.
+    #[must_use]
+    pub fn new() -> Self {
+        Batch { jobs: Vec::new() }
+    }
+
+    /// Creates a batch from jobs in priority order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DuplicateSlotId`]-style duplication errors are
+    /// not applicable here; the only failure is an id collision, reported
+    /// as [`CoreError::InvalidRequest`].
+    pub fn from_jobs(jobs: Vec<Job>) -> Result<Self, CoreError> {
+        for (i, a) in jobs.iter().enumerate() {
+            if jobs[..i].iter().any(|b| b.id() == a.id()) {
+                return Err(CoreError::InvalidRequest {
+                    reason: format!("duplicate job id {}", a.id()),
+                });
+            }
+        }
+        Ok(Batch { jobs })
+    }
+
+    /// Appends a job at the lowest priority position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidRequest`] on a job-id collision.
+    pub fn push(&mut self, job: Job) -> Result<(), CoreError> {
+        if self.jobs.iter().any(|b| b.id() == job.id()) {
+            return Err(CoreError::InvalidRequest {
+                reason: format!("duplicate job id {}", job.id()),
+            });
+        }
+        self.jobs.push(job);
+        Ok(())
+    }
+
+    /// Number of jobs in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Returns `true` if the batch holds no jobs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Iterates jobs in priority order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Job> {
+        self.jobs.iter()
+    }
+
+    /// The jobs in priority order.
+    #[must_use]
+    pub fn as_slice(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Looks up a job by id.
+    #[must_use]
+    pub fn get(&self, id: JobId) -> Option<&Job> {
+        self.jobs.iter().find(|j| j.id() == id)
+    }
+}
+
+impl<'a> IntoIterator for &'a Batch {
+    type Item = &'a Job;
+    type IntoIter = std::slice::Iter<'a, Job>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.jobs.iter()
+    }
+}
+
+impl IntoIterator for Batch {
+    type Item = Job;
+    type IntoIter = std::vec::IntoIter<Job>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.jobs.into_iter()
+    }
+}
+
+impl fmt::Display for Batch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "batch ({} jobs):", self.len())?;
+        for job in &self.jobs {
+            writeln!(f, "  {job}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::money::Price;
+    use crate::perf::Perf;
+    use crate::time::TimeDelta;
+
+    fn job(id: u32) -> Job {
+        Job::new(
+            JobId::new(id),
+            ResourceRequest::new(1, TimeDelta::new(10), Perf::UNIT, Price::from_credits(1))
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn batch_preserves_priority_order() {
+        let batch = Batch::from_jobs(vec![job(2), job(0), job(1)]).unwrap();
+        let ids: Vec<u32> = batch.iter().map(|j| j.id().index()).collect();
+        assert_eq!(ids, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn duplicate_job_ids_rejected() {
+        assert!(Batch::from_jobs(vec![job(1), job(1)]).is_err());
+        let mut batch = Batch::from_jobs(vec![job(1)]).unwrap();
+        assert!(batch.push(job(1)).is_err());
+        assert!(batch.push(job(2)).is_ok());
+        assert_eq!(batch.len(), 2);
+    }
+
+    #[test]
+    fn get_by_id() {
+        let batch = Batch::from_jobs(vec![job(5), job(7)]).unwrap();
+        assert_eq!(batch.get(JobId::new(7)).unwrap().id(), JobId::new(7));
+        assert!(batch.get(JobId::new(9)).is_none());
+    }
+
+    #[test]
+    fn empty_batch_behaves() {
+        let batch = Batch::new();
+        assert!(batch.is_empty());
+        assert_eq!(batch.len(), 0);
+        assert_eq!(batch.iter().count(), 0);
+    }
+
+    #[test]
+    fn iteration_both_ways() {
+        let batch = Batch::from_jobs(vec![job(1), job(2)]).unwrap();
+        assert_eq!((&batch).into_iter().count(), 2);
+        assert_eq!(batch.clone().into_iter().count(), 2);
+    }
+
+    #[test]
+    fn display_lists_jobs() {
+        let batch = Batch::from_jobs(vec![job(1)]).unwrap();
+        let text = format!("{batch}");
+        assert!(text.contains("1 jobs"));
+        assert!(text.contains("job1"));
+    }
+}

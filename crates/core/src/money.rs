@@ -1,0 +1,395 @@
+//! Fixed-point money and prices.
+//!
+//! The paper's prices are real-valued (`0.75p … 1.25p` with
+//! `p = 1.7^performance`), but the dynamic-programming optimizer needs
+//! exact, totally ordered arithmetic. [`Money`] is a fixed-point amount in
+//! micro-credits (10⁻⁶ credit); [`Price`] is a cost per time tick with the
+//! same resolution.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::TimeDelta;
+
+/// Number of [`Money`] units per whole credit.
+pub const MONEY_SCALE: i64 = 1_000_000;
+
+/// An exact amount of currency, stored as micro-credits.
+///
+/// # Examples
+///
+/// ```
+/// use ecosched_core::Money;
+///
+/// let a = Money::from_credits(3) + Money::from_f64(0.5);
+/// assert_eq!(a.to_f64(), 3.5);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Money(i64);
+
+impl Money {
+    /// Zero credits.
+    pub const ZERO: Money = Money(0);
+    /// The largest representable amount; useful as an "unbounded" sentinel.
+    pub const MAX: Money = Money(i64::MAX);
+
+    /// Creates an amount from raw micro-credits.
+    #[must_use]
+    pub const fn from_micro(micro: i64) -> Self {
+        Money(micro)
+    }
+
+    /// Creates an amount from a whole number of credits.
+    #[must_use]
+    pub const fn from_credits(credits: i64) -> Self {
+        Money(credits * MONEY_SCALE)
+    }
+
+    /// Creates an amount from a floating-point credit value, rounding to the
+    /// nearest micro-credit.
+    #[must_use]
+    pub fn from_f64(credits: f64) -> Self {
+        Money((credits * MONEY_SCALE as f64).round() as i64)
+    }
+
+    /// Returns the raw micro-credit count.
+    #[must_use]
+    pub const fn micro(self) -> i64 {
+        self.0
+    }
+
+    /// Returns the amount as floating-point credits (for reporting only).
+    #[must_use]
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / MONEY_SCALE as f64
+    }
+
+    /// Returns `true` for exactly zero.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the larger of two amounts.
+    #[must_use]
+    pub fn max(self, other: Money) -> Money {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the smaller of two amounts.
+    #[must_use]
+    pub fn min(self, other: Money) -> Money {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Saturating subtraction clamped at zero.
+    #[must_use]
+    pub fn saturating_sub(self, other: Money) -> Money {
+        Money((self.0 - other.0).max(0))
+    }
+
+    /// Multiplies by a non-negative scalar, rounding to nearest.
+    #[must_use]
+    pub fn scale_f64(self, factor: f64) -> Money {
+        Money((self.0 as f64 * factor).round() as i64)
+    }
+}
+
+impl fmt::Display for Money {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let whole = self.0 / MONEY_SCALE;
+        let frac = (self.0 % MONEY_SCALE).abs();
+        if frac == 0 {
+            write!(f, "{whole}cr")
+        } else {
+            // Trim trailing zeros from the 6-digit fraction for readability.
+            let mut frac_str = format!("{frac:06}");
+            while frac_str.ends_with('0') {
+                frac_str.pop();
+            }
+            if self.0 < 0 && whole == 0 {
+                write!(f, "-0.{frac_str}cr")
+            } else {
+                write!(f, "{whole}.{frac_str}cr")
+            }
+        }
+    }
+}
+
+impl Add for Money {
+    type Output = Money;
+    fn add(self, rhs: Money) -> Money {
+        Money(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Money {
+    fn add_assign(&mut self, rhs: Money) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Money {
+    type Output = Money;
+    fn sub(self, rhs: Money) -> Money {
+        Money(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Money {
+    fn sub_assign(&mut self, rhs: Money) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Money {
+    type Output = Money;
+    fn neg(self) -> Money {
+        Money(-self.0)
+    }
+}
+
+impl Mul<i64> for Money {
+    type Output = Money;
+    fn mul(self, rhs: i64) -> Money {
+        Money(self.0 * rhs)
+    }
+}
+
+impl Div<i64> for Money {
+    type Output = Money;
+    fn div(self, rhs: i64) -> Money {
+        Money(self.0 / rhs)
+    }
+}
+
+impl std::iter::Sum for Money {
+    fn sum<I: Iterator<Item = Money>>(iter: I) -> Money {
+        iter.fold(Money::ZERO, Add::add)
+    }
+}
+
+/// A usage cost per time tick (the paper's `C`, "cost of slot usage per time
+/// unit"), with micro-credit resolution.
+///
+/// # Examples
+///
+/// ```
+/// use ecosched_core::{Money, Price, TimeDelta};
+///
+/// let p = Price::from_f64(2.5);
+/// assert_eq!(p * TimeDelta::new(4), Money::from_credits(10));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Price(i64);
+
+impl Price {
+    /// A price of zero credits per tick.
+    pub const ZERO: Price = Price(0);
+    /// The largest representable price; an effectively unlimited price cap.
+    pub const MAX: Price = Price(i64::MAX);
+
+    /// Creates a price from raw micro-credits per tick.
+    #[must_use]
+    pub const fn from_micro(micro: i64) -> Self {
+        Price(micro)
+    }
+
+    /// Creates a price from whole credits per tick.
+    #[must_use]
+    pub const fn from_credits(credits: i64) -> Self {
+        Price(credits * MONEY_SCALE)
+    }
+
+    /// Creates a price from floating-point credits per tick, rounding to the
+    /// nearest micro-credit.
+    #[must_use]
+    pub fn from_f64(credits_per_tick: f64) -> Self {
+        Price((credits_per_tick * MONEY_SCALE as f64).round() as i64)
+    }
+
+    /// Returns the raw micro-credits-per-tick count.
+    #[must_use]
+    pub const fn micro(self) -> i64 {
+        self.0
+    }
+
+    /// Returns the price as floating-point credits per tick.
+    #[must_use]
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / MONEY_SCALE as f64
+    }
+
+    /// Scales the price by a non-negative factor, rounding to nearest.
+    #[must_use]
+    pub fn scale_f64(self, factor: f64) -> Price {
+        Price((self.0 as f64 * factor).round() as i64)
+    }
+
+    /// Returns the larger of two prices.
+    #[must_use]
+    pub fn max(self, other: Price) -> Price {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the smaller of two prices.
+    #[must_use]
+    pub fn min(self, other: Price) -> Price {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Display for Price {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/t", Money(self.0))
+    }
+}
+
+impl Mul<TimeDelta> for Price {
+    type Output = Money;
+    /// Total cost of occupying a resource at this price for `rhs` ticks.
+    fn mul(self, rhs: TimeDelta) -> Money {
+        Money(self.0 * rhs.ticks())
+    }
+}
+
+impl Mul<i64> for Price {
+    type Output = Price;
+    fn mul(self, rhs: i64) -> Price {
+        Price(self.0 * rhs)
+    }
+}
+
+impl Add for Price {
+    type Output = Price;
+    fn add(self, rhs: Price) -> Price {
+        Price(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Price {
+    fn add_assign(&mut self, rhs: Price) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Price {
+    type Output = Price;
+    fn sub(self, rhs: Price) -> Price {
+        Price(self.0 - rhs.0)
+    }
+}
+
+impl std::iter::Sum for Price {
+    fn sum<I: Iterator<Item = Price>>(iter: I) -> Price {
+        iter.fold(Price::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn money_roundtrip_f64() {
+        let m = Money::from_f64(3.172593);
+        assert_eq!(m.micro(), 3_172_593);
+        assert!((m.to_f64() - 3.172593).abs() < 1e-9);
+    }
+
+    #[test]
+    fn money_arithmetic() {
+        let a = Money::from_credits(3);
+        let b = Money::from_credits(5);
+        assert_eq!(a + b, Money::from_credits(8));
+        assert_eq!(b - a, Money::from_credits(2));
+        assert_eq!(a * 4, Money::from_credits(12));
+        assert_eq!(b / 2, Money::from_micro(2_500_000));
+        assert_eq!(-a, Money::from_credits(-3));
+    }
+
+    #[test]
+    fn money_saturating_sub_clamps() {
+        let a = Money::from_credits(1);
+        let b = Money::from_credits(2);
+        assert_eq!(a.saturating_sub(b), Money::ZERO);
+        assert_eq!(b.saturating_sub(a), Money::from_credits(1));
+    }
+
+    #[test]
+    fn money_sum() {
+        let s: Money = (1..=4).map(Money::from_credits).sum();
+        assert_eq!(s, Money::from_credits(10));
+    }
+
+    #[test]
+    fn money_ordering_is_total() {
+        let mut v = vec![
+            Money::from_f64(1.5),
+            Money::ZERO,
+            Money::from_credits(-1),
+            Money::from_credits(2),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                Money::from_credits(-1),
+                Money::ZERO,
+                Money::from_f64(1.5),
+                Money::from_credits(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn price_times_duration_is_money() {
+        let p = Price::from_f64(1.25);
+        assert_eq!(p * TimeDelta::new(80), Money::from_credits(100));
+    }
+
+    #[test]
+    fn price_scaling() {
+        let p = Price::from_credits(10);
+        assert_eq!(p.scale_f64(0.8), Price::from_credits(8));
+        assert_eq!(p * 3, Price::from_credits(30));
+    }
+
+    #[test]
+    fn display_trims_zeros() {
+        assert_eq!(format!("{}", Money::from_credits(7)), "7cr");
+        assert_eq!(format!("{}", Money::from_f64(7.25)), "7.25cr");
+        assert_eq!(format!("{}", Money::from_f64(-0.5)), "-0.5cr");
+        assert_eq!(format!("{}", Price::from_credits(2)), "2cr/t");
+    }
+
+    #[test]
+    fn money_scale_f64_rounds() {
+        assert_eq!(
+            Money::from_credits(10).scale_f64(0.333333),
+            Money::from_micro(3_333_330)
+        );
+    }
+}

@@ -1,0 +1,213 @@
+//! Node performance rates and runtime scaling.
+//!
+//! The paper expresses a job's wall time `t` relative to the *minimum
+//! acceptable* node performance `P`. A node with rate `P(s) ≥ P` executes
+//! the task faster: its runtime is `t · P / P(s)` (see DESIGN.md note R1 —
+//! the paper's printed inequality has the ratio inverted; Sec. 6's
+//! discussion of `t/P` fixes the intent).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::TimeDelta;
+
+/// Fixed-point scale: 1000 [`Perf`] units per 1.0 relative rate.
+pub const PERF_SCALE: i64 = 1000;
+
+/// A relative node performance rate (the paper's `P`), fixed-point with
+/// 10⁻³ resolution. The "etalon" node has rate 1.0.
+///
+/// # Examples
+///
+/// ```
+/// use ecosched_core::{Perf, TimeDelta};
+///
+/// let requested = Perf::from_f64(1.0);
+/// let node = Perf::from_f64(2.0);
+/// // A job asking for 100 ticks at rate 1.0 finishes in 50 on a rate-2 node.
+/// assert_eq!(node.runtime_for(TimeDelta::new(100), requested), TimeDelta::new(50));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Perf(i64);
+
+impl Perf {
+    /// The etalon performance rate 1.0.
+    pub const UNIT: Perf = Perf(PERF_SCALE);
+
+    /// Creates a rate from raw milli-units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `milli` is not strictly positive — a node with
+    /// non-positive speed can never finish a task.
+    #[must_use]
+    pub fn from_milli(milli: i64) -> Self {
+        assert!(milli > 0, "performance rate must be positive, got {milli}");
+        Perf(milli)
+    }
+
+    /// Creates a rate from a floating-point value, rounding to milli-units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rounded rate is not strictly positive.
+    #[must_use]
+    pub fn from_f64(rate: f64) -> Self {
+        Self::from_milli((rate * PERF_SCALE as f64).round() as i64)
+    }
+
+    /// Returns the raw milli-unit count.
+    #[must_use]
+    pub const fn milli(self) -> i64 {
+        self.0
+    }
+
+    /// Returns the rate as a floating-point value.
+    #[must_use]
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / PERF_SCALE as f64
+    }
+
+    /// Returns `true` if this node satisfies a minimum-performance
+    /// requirement (condition 2°a of both ALP and AMP).
+    #[must_use]
+    pub fn satisfies(self, minimum: Perf) -> bool {
+        self.0 >= minimum.0
+    }
+
+    /// Runtime of a task on this node, where `wall_time` is the task's
+    /// duration on a node of rate `requested`: `ceil(t · P_req / P_node)`.
+    ///
+    /// Faster nodes shrink the runtime; the ceiling keeps durations integral
+    /// while never under-reserving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wall_time` is negative.
+    #[must_use]
+    pub fn runtime_for(self, wall_time: TimeDelta, requested: Perf) -> TimeDelta {
+        let t = wall_time.ticks();
+        assert!(t >= 0, "wall time must be non-negative, got {t}");
+        TimeDelta::new(div_ceil(t * requested.0, self.0))
+    }
+
+    /// The paper's *literal* condition 2°b runtime, `ceil(t · P_node /
+    /// P_req)` — kept for the R1 ablation (see DESIGN.md). Under this rule
+    /// faster nodes need *longer* slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wall_time` is negative.
+    #[must_use]
+    pub fn runtime_for_paper_literal(self, wall_time: TimeDelta, requested: Perf) -> TimeDelta {
+        let t = wall_time.ticks();
+        assert!(t >= 0, "wall time must be non-negative, got {t}");
+        TimeDelta::new(div_ceil(t * self.0, requested.0))
+    }
+}
+
+impl Default for Perf {
+    fn default() -> Self {
+        Perf::UNIT
+    }
+}
+
+impl fmt::Display for Perf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}x", self.to_f64())
+    }
+}
+
+/// Integer division rounding toward positive infinity (operands must be
+/// positive, which `Perf` guarantees for the divisor).
+fn div_ceil(num: i64, den: i64) -> i64 {
+    debug_assert!(den > 0);
+    if num <= 0 {
+        0
+    } else {
+        (num + den - 1) / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_rate_is_identity() {
+        let t = TimeDelta::new(123);
+        assert_eq!(Perf::UNIT.runtime_for(t, Perf::UNIT), t);
+    }
+
+    #[test]
+    fn faster_node_shrinks_runtime() {
+        let t = TimeDelta::new(100);
+        let req = Perf::from_f64(1.0);
+        assert_eq!(Perf::from_f64(2.0).runtime_for(t, req), TimeDelta::new(50));
+        assert_eq!(Perf::from_f64(4.0).runtime_for(t, req), TimeDelta::new(25));
+    }
+
+    #[test]
+    fn runtime_uses_ceiling() {
+        let t = TimeDelta::new(100);
+        let req = Perf::from_f64(1.0);
+        // 100 / 3 = 33.33… → 34
+        assert_eq!(Perf::from_f64(3.0).runtime_for(t, req), TimeDelta::new(34));
+    }
+
+    #[test]
+    fn requested_rate_scales_up() {
+        // Requesting a rate-2 baseline doubles the work relative to etalon.
+        let t = TimeDelta::new(50);
+        let req = Perf::from_f64(2.0);
+        assert_eq!(Perf::from_f64(1.0).runtime_for(t, req), TimeDelta::new(100));
+        assert_eq!(Perf::from_f64(2.0).runtime_for(t, req), TimeDelta::new(50));
+    }
+
+    #[test]
+    fn literal_rule_is_inverted() {
+        let t = TimeDelta::new(100);
+        let req = Perf::from_f64(1.0);
+        assert_eq!(
+            Perf::from_f64(2.0).runtime_for_paper_literal(t, req),
+            TimeDelta::new(200)
+        );
+    }
+
+    #[test]
+    fn satisfies_is_inclusive() {
+        let min = Perf::from_f64(1.5);
+        assert!(Perf::from_f64(1.5).satisfies(min));
+        assert!(Perf::from_f64(2.0).satisfies(min));
+        assert!(!Perf::from_f64(1.499).satisfies(min));
+    }
+
+    #[test]
+    fn zero_wall_time_runs_instantly() {
+        assert_eq!(
+            Perf::from_f64(1.5).runtime_for(TimeDelta::ZERO, Perf::UNIT),
+            TimeDelta::ZERO
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "performance rate must be positive")]
+    fn zero_rate_panics() {
+        let _ = Perf::from_milli(0);
+    }
+
+    #[test]
+    fn display_shows_three_decimals() {
+        assert_eq!(format!("{}", Perf::from_f64(1.5)), "1.500x");
+    }
+
+    #[test]
+    fn div_ceil_edge_cases() {
+        assert_eq!(div_ceil(0, 3), 0);
+        assert_eq!(div_ceil(1, 3), 1);
+        assert_eq!(div_ceil(3, 3), 1);
+        assert_eq!(div_ceil(4, 3), 2);
+        assert_eq!(div_ceil(-5, 3), 0);
+    }
+}

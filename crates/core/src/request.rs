@@ -1,0 +1,234 @@
+//! Resource requests: what a job asks the metascheduler for.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+use crate::money::{Money, Price};
+use crate::perf::Perf;
+use crate::slot::Slot;
+use crate::time::TimeDelta;
+
+/// A job's resource request (Sec. 3 of the paper): `N` concurrent slots for
+/// a wall time `t`, on nodes with performance at least `P`, at a price per
+/// slot per time unit of at most `C`.
+///
+/// The AMP algorithm replaces the per-slot cap `C` by the job budget
+/// `S = C·t·N`, available as [`ResourceRequest::budget`].
+///
+/// # Examples
+///
+/// ```
+/// use ecosched_core::{Money, Perf, Price, ResourceRequest, TimeDelta};
+///
+/// let req = ResourceRequest::new(
+///     2,
+///     TimeDelta::new(80),
+///     Perf::UNIT,
+///     Price::from_credits(5),
+/// )?;
+/// assert_eq!(req.budget(), Money::from_credits(5 * 80 * 2));
+/// # Ok::<(), ecosched_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ResourceRequest {
+    nodes: usize,
+    wall_time: TimeDelta,
+    min_perf: Perf,
+    price_cap: Price,
+}
+
+impl ResourceRequest {
+    /// Creates a request for `nodes` concurrent slots of `wall_time` ticks
+    /// (measured at performance `min_perf`), each slot costing at most
+    /// `price_cap` per time unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidRequest`] if `nodes` is zero, if
+    /// `wall_time` is not strictly positive, or if `price_cap` is negative.
+    pub fn new(
+        nodes: usize,
+        wall_time: TimeDelta,
+        min_perf: Perf,
+        price_cap: Price,
+    ) -> Result<Self, CoreError> {
+        if nodes == 0 {
+            return Err(CoreError::InvalidRequest {
+                reason: "a job needs at least one node".into(),
+            });
+        }
+        if !wall_time.is_positive() {
+            return Err(CoreError::InvalidRequest {
+                reason: format!("wall time must be positive, got {wall_time}"),
+            });
+        }
+        if price_cap < Price::ZERO {
+            return Err(CoreError::InvalidRequest {
+                reason: "price cap must be non-negative".into(),
+            });
+        }
+        Ok(ResourceRequest {
+            nodes,
+            wall_time,
+            min_perf,
+            price_cap,
+        })
+    }
+
+    /// Required number of concurrent slots (the paper's `N`).
+    #[must_use]
+    pub const fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Requested wall time `t`, at node performance `min_perf`.
+    #[must_use]
+    pub const fn wall_time(&self) -> TimeDelta {
+        self.wall_time
+    }
+
+    /// Minimum acceptable node performance rate `P`.
+    #[must_use]
+    pub const fn min_perf(&self) -> Perf {
+        self.min_perf
+    }
+
+    /// Maximum price per slot per time unit `C`.
+    #[must_use]
+    pub const fn price_cap(&self) -> Price {
+        self.price_cap
+    }
+
+    /// The AMP job budget `S = C·t·N`.
+    #[must_use]
+    pub fn budget(&self) -> Money {
+        (self.price_cap * self.wall_time) * self.nodes as i64
+    }
+
+    /// The discounted budget `S = ρ·C·t·N` from Sec. 6 of the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho` is not in `(0, 1]`.
+    #[must_use]
+    pub fn budget_scaled(&self, rho: f64) -> Money {
+        assert!(rho > 0.0 && rho <= 1.0, "rho must be in (0, 1], got {rho}");
+        self.budget().scale_f64(rho)
+    }
+
+    /// Runtime of one task of this job on a node with performance `perf`:
+    /// `ceil(t / P(node))`, with `t` etalon-relative (corrected condition
+    /// 2°b — see DESIGN.md note R1 and Sec. 6's `t/P`).
+    #[must_use]
+    pub fn runtime_on(&self, perf: Perf) -> TimeDelta {
+        perf.runtime_for(self.wall_time, Perf::UNIT)
+    }
+
+    /// Returns `true` if `slot`'s node meets the minimum performance
+    /// requirement (condition 2°a).
+    #[must_use]
+    pub fn perf_ok(&self, slot: &Slot) -> bool {
+        slot.perf().satisfies(self.min_perf)
+    }
+
+    /// Returns `true` if `slot`'s price passes the per-slot cap
+    /// (ALP condition 2°c).
+    #[must_use]
+    pub fn price_ok(&self, slot: &Slot) -> bool {
+        slot.price() <= self.price_cap
+    }
+}
+
+impl fmt::Display for ResourceRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "request(N={}, t={}, P≥{}, C≤{})",
+            self.nodes, self.wall_time, self.min_perf, self.price_cap
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::NodeId;
+    use crate::slot::SlotId;
+    use crate::time::{Span, TimePoint};
+
+    fn request(n: usize, t: i64, p: f64, c: i64) -> ResourceRequest {
+        ResourceRequest::new(
+            n,
+            TimeDelta::new(t),
+            Perf::from_f64(p),
+            Price::from_credits(c),
+        )
+        .unwrap()
+    }
+
+    fn slot(perf: f64, price: i64) -> Slot {
+        Slot::new(
+            SlotId::new(0),
+            NodeId::new(0),
+            Perf::from_f64(perf),
+            Price::from_credits(price),
+            Span::new(TimePoint::ZERO, TimePoint::new(1000)).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_requests() {
+        assert!(ResourceRequest::new(0, TimeDelta::new(1), Perf::UNIT, Price::ZERO).is_err());
+        assert!(ResourceRequest::new(1, TimeDelta::ZERO, Perf::UNIT, Price::ZERO).is_err());
+        assert!(ResourceRequest::new(1, TimeDelta::new(-5), Perf::UNIT, Price::ZERO).is_err());
+        assert!(
+            ResourceRequest::new(1, TimeDelta::new(1), Perf::UNIT, Price::from_credits(-1))
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn budget_is_ctn() {
+        let req = request(3, 30, 1.0, 10);
+        assert_eq!(req.budget(), Money::from_credits(10 * 30 * 3));
+    }
+
+    #[test]
+    fn scaled_budget_applies_rho() {
+        let req = request(2, 50, 1.0, 6);
+        assert_eq!(req.budget_scaled(0.8), Money::from_credits(480));
+        assert_eq!(req.budget_scaled(1.0), req.budget());
+    }
+
+    #[test]
+    #[should_panic(expected = "rho must be in (0, 1]")]
+    fn rho_out_of_range_panics() {
+        let _ = request(1, 1, 1.0, 1).budget_scaled(1.5);
+    }
+
+    #[test]
+    fn runtime_scales_with_node_perf() {
+        let req = request(1, 100, 1.0, 10);
+        assert_eq!(req.runtime_on(Perf::from_f64(1.0)), TimeDelta::new(100));
+        assert_eq!(req.runtime_on(Perf::from_f64(2.0)), TimeDelta::new(50));
+    }
+
+    #[test]
+    fn perf_and_price_conditions() {
+        let req = request(1, 100, 1.5, 4);
+        assert!(req.perf_ok(&slot(1.5, 10)));
+        assert!(!req.perf_ok(&slot(1.2, 1)));
+        assert!(req.price_ok(&slot(1.0, 4)));
+        assert!(!req.price_ok(&slot(1.0, 5)));
+    }
+
+    #[test]
+    fn display_lists_all_fields() {
+        let text = format!("{}", request(2, 80, 1.0, 5));
+        assert!(text.contains("N=2"));
+        assert!(text.contains("80Δ"));
+    }
+}

@@ -1,0 +1,129 @@
+//! Computational nodes (the paper's heterogeneous resources).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::money::Price;
+use crate::perf::Perf;
+
+/// Identifier of a computational node within the environment.
+///
+/// # Examples
+///
+/// ```
+/// use ecosched_core::NodeId;
+///
+/// let id = NodeId::new(3);
+/// assert_eq!(id.index(), 3);
+/// assert_eq!(format!("{id}"), "cpu3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node identifier from its index.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// Returns the underlying index.
+    #[must_use]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+/// A computational node: a resource with a performance rate and an owner's
+/// usage price per time unit.
+///
+/// # Examples
+///
+/// ```
+/// use ecosched_core::{NodeId, Perf, Price, Resource};
+///
+/// let node = Resource::new(NodeId::new(0), Perf::from_f64(2.0), Price::from_credits(4));
+/// assert!(node.perf().satisfies(Perf::from_f64(1.5)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Resource {
+    id: NodeId,
+    perf: Perf,
+    price: Price,
+}
+
+impl Resource {
+    /// Creates a node description.
+    #[must_use]
+    pub const fn new(id: NodeId, perf: Perf, price: Price) -> Self {
+        Resource { id, perf, price }
+    }
+
+    /// The node identifier.
+    #[must_use]
+    pub const fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The node's relative performance rate.
+    #[must_use]
+    pub const fn perf(&self) -> Perf {
+        self.perf
+    }
+
+    /// The owner's price per time unit for this node.
+    #[must_use]
+    pub const fn price(&self) -> Price {
+        self.price
+    }
+
+    /// The price/quality measure `C/P` from Sec. 6 of the paper, as a
+    /// floating-point ratio for reporting.
+    #[must_use]
+    pub fn price_quality_ratio(&self) -> f64 {
+        self.price.to_f64() / self.perf.to_f64()
+    }
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({}, {})", self.id, self.perf, self.price)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_return_construction_values() {
+        let r = Resource::new(NodeId::new(7), Perf::from_f64(1.5), Price::from_credits(3));
+        assert_eq!(r.id(), NodeId::new(7));
+        assert_eq!(r.perf(), Perf::from_f64(1.5));
+        assert_eq!(r.price(), Price::from_credits(3));
+    }
+
+    #[test]
+    fn price_quality_ratio_divides() {
+        let r = Resource::new(NodeId::new(0), Perf::from_f64(2.0), Price::from_credits(5));
+        assert!((r.price_quality_ratio() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_ids_order_by_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let r = Resource::new(NodeId::new(2), Perf::from_f64(1.0), Price::from_credits(2));
+        assert_eq!(format!("{r}"), "cpu2(1.000x, 2cr/t)");
+    }
+}

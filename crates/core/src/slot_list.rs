@@ -1,0 +1,428 @@
+//! The ordered vacant-slot list and the slot-subtraction operation.
+//!
+//! Local resource managers publish vacant slots; the metascheduler keeps
+//! them in a list ordered by non-decreasing start time (Fig. 1 (a) of the
+//! paper). When a window is committed for a job, the used intervals are
+//! *subtracted* from the list (Fig. 1 (b)): each source slot `K` is removed
+//! and replaced by the remnants `K1 = [K.start, K'.start)` and
+//! `K2 = [K'.end, K.end)`, dropping zero-length pieces.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+use crate::slot::{Slot, SlotId};
+use crate::time::{Span, TimeDelta, TimePoint};
+use crate::window::Window;
+
+/// A list of vacant slots ordered by `(start time, slot id)`.
+///
+/// # Examples
+///
+/// ```
+/// use ecosched_core::{NodeId, Perf, Price, Slot, SlotId, SlotList, Span, TimePoint};
+///
+/// let mut list = SlotList::new();
+/// let span = Span::new(TimePoint::new(0), TimePoint::new(100)).unwrap();
+/// let id = list.mint_id();
+/// list.insert(Slot::new(id, NodeId::new(0), Perf::UNIT, Price::from_credits(2), span)?)?;
+/// assert_eq!(list.len(), 1);
+/// # Ok::<(), ecosched_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotList {
+    slots: Vec<Slot>,
+    next_id: u64,
+}
+
+impl SlotList {
+    /// Creates an empty slot list.
+    #[must_use]
+    pub fn new() -> Self {
+        SlotList {
+            slots: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Builds a list from arbitrary slots, sorting them by start time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DuplicateSlotId`] if two slots share an id, or
+    /// [`CoreError::OverlappingSlots`] if two slots on the same node
+    /// overlap in time.
+    pub fn from_slots(slots: Vec<Slot>) -> Result<Self, CoreError> {
+        let mut list = SlotList {
+            next_id: slots.iter().map(|s| s.id().raw() + 1).max().unwrap_or(0),
+            slots,
+        };
+        list.slots.sort_by_key(|s| (s.start(), s.id()));
+        list.validate()?;
+        Ok(list)
+    }
+
+    /// Mints a fresh slot id, unique within this list.
+    pub fn mint_id(&mut self) -> SlotId {
+        let id = SlotId::new(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Inserts a slot, keeping the ordering invariant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DuplicateSlotId`] if the id is already present.
+    /// Overlap against existing same-node slots is checked in debug builds.
+    pub fn insert(&mut self, slot: Slot) -> Result<(), CoreError> {
+        if self.slots.iter().any(|s| s.id() == slot.id()) {
+            return Err(CoreError::DuplicateSlotId { id: slot.id() });
+        }
+        debug_assert!(
+            self.slots
+                .iter()
+                .all(|s| s.node() != slot.node() || !s.span().overlaps(slot.span())),
+            "inserted slot overlaps an existing slot on the same node"
+        );
+        self.next_id = self.next_id.max(slot.id().raw() + 1);
+        let pos = self
+            .slots
+            .partition_point(|s| (s.start(), s.id()) < (slot.start(), slot.id()));
+        self.slots.insert(pos, slot);
+        Ok(())
+    }
+
+    /// Number of slots in the list.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns `true` if the list has no slots.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Iterates the slots in start-time order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Slot> {
+        self.slots.iter()
+    }
+
+    /// The slots in start-time order.
+    #[must_use]
+    pub fn as_slice(&self) -> &[Slot] {
+        &self.slots
+    }
+
+    /// Looks up a slot by id (linear scan; the lists here are small and the
+    /// scheduling algorithms never need random access on a hot path).
+    #[must_use]
+    pub fn get(&self, id: SlotId) -> Option<&Slot> {
+        self.slots.iter().find(|s| s.id() == id)
+    }
+
+    /// The earliest vacant start across the list, if any.
+    #[must_use]
+    pub fn earliest_start(&self) -> Option<TimePoint> {
+        self.slots.first().map(Slot::start)
+    }
+
+    /// Sum of all vacant span lengths.
+    #[must_use]
+    pub fn total_vacant_time(&self) -> TimeDelta {
+        self.slots.iter().map(Slot::length).sum()
+    }
+
+    /// Removes the interval `cut` from the slot `id`, inserting remnants in
+    /// order (Fig. 1 (b)).
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::SlotNotFound`] if `id` is not in the list;
+    /// * [`CoreError::CutOutsideSlot`] if `cut` is not fully contained in
+    ///   the slot's vacant span.
+    pub fn subtract(&mut self, id: SlotId, cut: Span) -> Result<(), CoreError> {
+        let pos = self
+            .slots
+            .iter()
+            .position(|s| s.id() == id)
+            .ok_or(CoreError::SlotNotFound { id })?;
+        let slot = self.slots[pos];
+        if !slot.span().contains_span(cut) {
+            return Err(CoreError::CutOutsideSlot {
+                id,
+                slot_span: slot.span(),
+                cut,
+            });
+        }
+        self.slots.remove(pos);
+        let (left, right) = slot.span().subtract(cut);
+        for remnant in [left, right].into_iter().flatten() {
+            let rid = self.mint_id();
+            let new_slot = slot
+                .with_span(rid, remnant)
+                .expect("non-empty remnant spans construct valid slots");
+            self.insert(new_slot)
+                .expect("freshly minted ids cannot collide");
+        }
+        Ok(())
+    }
+
+    /// Subtracts every member of a committed window from the list.
+    ///
+    /// This is all-or-nothing: on error the list is left unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::SlotNotFound`] / [`CoreError::CutOutsideSlot`]
+    /// from [`SlotList::subtract`].
+    pub fn subtract_window(&mut self, window: &Window) -> Result<(), CoreError> {
+        // Validate first so a failure cannot leave a partial subtraction.
+        for (id, cut) in window.cuts() {
+            let slot = self.get(id).ok_or(CoreError::SlotNotFound { id })?;
+            if !slot.span().contains_span(cut) {
+                return Err(CoreError::CutOutsideSlot {
+                    id,
+                    slot_span: slot.span(),
+                    cut,
+                });
+            }
+        }
+        for (id, cut) in window.cuts() {
+            self.subtract(id, cut)
+                .expect("cuts validated before mutation");
+        }
+        Ok(())
+    }
+
+    /// Checks every structural invariant of the list. Cheap enough for
+    /// tests; not called on hot paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a [`CoreError`].
+    pub fn validate(&self) -> Result<(), CoreError> {
+        for pair in self.slots.windows(2) {
+            if (pair[0].start(), pair[0].id()) >= (pair[1].start(), pair[1].id()) {
+                return Err(CoreError::DuplicateSlotId { id: pair[1].id() });
+            }
+        }
+        let mut per_node: HashMap<_, Vec<&Slot>> = HashMap::new();
+        for slot in &self.slots {
+            per_node.entry(slot.node()).or_default().push(slot);
+        }
+        for (node, slots) in per_node {
+            for i in 0..slots.len() {
+                for j in (i + 1)..slots.len() {
+                    if slots[i].span().overlaps(slots[j].span()) {
+                        return Err(CoreError::OverlappingSlots {
+                            node,
+                            first: slots[i].id(),
+                            second: slots[j].id(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl IntoIterator for SlotList {
+    type Item = Slot;
+    type IntoIter = std::vec::IntoIter<Slot>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.slots.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a SlotList {
+    type Item = &'a Slot;
+    type IntoIter = std::slice::Iter<'a, Slot>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.slots.iter()
+    }
+}
+
+impl fmt::Display for SlotList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "slot list ({} slots):", self.len())?;
+        for slot in &self.slots {
+            writeln!(f, "  {slot}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::money::Price;
+    use crate::perf::Perf;
+    use crate::resource::NodeId;
+
+    fn span(a: i64, b: i64) -> Span {
+        Span::new(TimePoint::new(a), TimePoint::new(b)).unwrap()
+    }
+
+    fn slot(id: u64, node: u32, a: i64, b: i64) -> Slot {
+        Slot::new(
+            SlotId::new(id),
+            NodeId::new(node),
+            Perf::UNIT,
+            Price::from_credits(2),
+            span(a, b),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn from_slots_sorts_by_start() {
+        let list = SlotList::from_slots(vec![
+            slot(0, 0, 50, 80),
+            slot(1, 1, 10, 40),
+            slot(2, 2, 30, 90),
+        ])
+        .unwrap();
+        let starts: Vec<i64> = list.iter().map(|s| s.start().ticks()).collect();
+        assert_eq!(starts, vec![10, 30, 50]);
+    }
+
+    #[test]
+    fn from_slots_rejects_duplicate_ids() {
+        let err = SlotList::from_slots(vec![slot(3, 0, 0, 10), slot(3, 1, 0, 10)]).unwrap_err();
+        assert_eq!(err, CoreError::DuplicateSlotId { id: SlotId::new(3) });
+    }
+
+    #[test]
+    fn from_slots_rejects_same_node_overlap() {
+        let err = SlotList::from_slots(vec![slot(0, 5, 0, 50), slot(1, 5, 40, 90)]).unwrap_err();
+        assert!(matches!(err, CoreError::OverlappingSlots { node, .. } if node == NodeId::new(5)));
+    }
+
+    #[test]
+    fn same_node_touching_slots_are_fine() {
+        let list = SlotList::from_slots(vec![slot(0, 5, 0, 50), slot(1, 5, 50, 90)]).unwrap();
+        assert_eq!(list.len(), 2);
+    }
+
+    #[test]
+    fn insert_keeps_order_and_rejects_duplicates() {
+        let mut list = SlotList::from_slots(vec![slot(0, 0, 100, 200)]).unwrap();
+        list.insert(slot(10, 1, 50, 80)).unwrap();
+        assert_eq!(list.as_slice()[0].id(), SlotId::new(10));
+        assert_eq!(
+            list.insert(slot(10, 2, 0, 10)).unwrap_err(),
+            CoreError::DuplicateSlotId {
+                id: SlotId::new(10)
+            }
+        );
+    }
+
+    #[test]
+    fn minted_ids_never_collide_with_inserted() {
+        let mut list = SlotList::from_slots(vec![slot(41, 0, 0, 10)]).unwrap();
+        assert_eq!(list.mint_id(), SlotId::new(42));
+        list.insert(slot(100, 1, 0, 10)).unwrap();
+        assert_eq!(list.mint_id(), SlotId::new(101));
+    }
+
+    #[test]
+    fn subtract_interior_produces_two_remnants() {
+        let mut list = SlotList::from_slots(vec![slot(0, 0, 0, 100)]).unwrap();
+        list.subtract(SlotId::new(0), span(30, 60)).unwrap();
+        assert_eq!(list.len(), 2);
+        let spans: Vec<Span> = list.iter().map(|s| s.span()).collect();
+        assert_eq!(spans, vec![span(0, 30), span(60, 100)]);
+        list.validate().unwrap();
+    }
+
+    #[test]
+    fn subtract_prefix_keeps_right_remnant_only() {
+        let mut list = SlotList::from_slots(vec![slot(0, 0, 0, 100)]).unwrap();
+        list.subtract(SlotId::new(0), span(0, 100)).unwrap();
+        assert!(list.is_empty());
+    }
+
+    #[test]
+    fn subtract_missing_slot_errors() {
+        let mut list = SlotList::new();
+        assert_eq!(
+            list.subtract(SlotId::new(1), span(0, 10)).unwrap_err(),
+            CoreError::SlotNotFound { id: SlotId::new(1) }
+        );
+    }
+
+    #[test]
+    fn subtract_outside_cut_errors() {
+        let mut list = SlotList::from_slots(vec![slot(0, 0, 10, 20)]).unwrap();
+        let err = list.subtract(SlotId::new(0), span(15, 30)).unwrap_err();
+        assert!(matches!(err, CoreError::CutOutsideSlot { .. }));
+        // List unchanged.
+        assert_eq!(list.len(), 1);
+        assert_eq!(list.as_slice()[0].span(), span(10, 20));
+    }
+
+    #[test]
+    fn subtract_window_is_atomic_on_error() {
+        use crate::window::{Window, WindowSlot};
+        let a = slot(0, 0, 0, 100);
+        let b = slot(1, 1, 0, 10); // too short for the cut below
+        let mut list = SlotList::from_slots(vec![a, b]).unwrap();
+        let w = Window::new(
+            TimePoint::new(0),
+            vec![
+                WindowSlot::from_slot(&a, TimeDelta::new(50)).unwrap(),
+                WindowSlot::from_slot(&b, TimeDelta::new(50)).unwrap(),
+            ],
+        )
+        .unwrap();
+        let err = list.subtract_window(&w).unwrap_err();
+        assert!(matches!(err, CoreError::CutOutsideSlot { .. }));
+        // Nothing was subtracted, including from slot `a`.
+        assert_eq!(list.len(), 2);
+        assert_eq!(list.get(SlotId::new(0)).unwrap().span(), span(0, 100));
+    }
+
+    #[test]
+    fn subtract_window_removes_all_members() {
+        use crate::window::{Window, WindowSlot};
+        let a = slot(0, 0, 0, 100);
+        let b = slot(1, 1, 0, 100);
+        let mut list = SlotList::from_slots(vec![a, b]).unwrap();
+        let w = Window::new(
+            TimePoint::new(0),
+            vec![
+                WindowSlot::from_slot(&a, TimeDelta::new(40)).unwrap(),
+                WindowSlot::from_slot(&b, TimeDelta::new(40)).unwrap(),
+            ],
+        )
+        .unwrap();
+        list.subtract_window(&w).unwrap();
+        assert_eq!(list.len(), 2);
+        for s in list.iter() {
+            assert_eq!(s.span(), span(40, 100));
+        }
+        list.validate().unwrap();
+    }
+
+    #[test]
+    fn totals_and_earliest() {
+        let list = SlotList::from_slots(vec![slot(0, 0, 10, 40), slot(1, 1, 5, 25)]).unwrap();
+        assert_eq!(list.earliest_start(), Some(TimePoint::new(5)));
+        assert_eq!(list.total_vacant_time(), TimeDelta::new(50));
+        assert!(SlotList::new().earliest_start().is_none());
+    }
+
+    #[test]
+    fn iteration_conveniences() {
+        let list = SlotList::from_slots(vec![slot(0, 0, 10, 40)]).unwrap();
+        assert_eq!((&list).into_iter().count(), 1);
+        assert_eq!(list.clone().into_iter().count(), 1);
+        assert!(format!("{list}").contains("1 slots"));
+    }
+}

@@ -1,0 +1,160 @@
+//! E8 — the DESIGN.md R1 ablation: what happens if the paper's literal
+//! condition 2°b (`L(s_k) ≥ t·P(s_k)/P`, faster nodes need *longer*
+//! slots) is implemented instead of the corrected etalon rule.
+
+use ecosched_core::{Batch, SlotList};
+use ecosched_select::{find_alternatives, Alp, Amp, LengthRule, SlotSelector};
+use ecosched_sim::{JobGenConfig, JobGenerator, RunningStats, SlotGenConfig, SlotGenerator};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::report::{f2, Table};
+
+/// Aggregates for one (algorithm, rule) pair.
+#[derive(Debug, Clone, Default)]
+pub struct RuleAggregate {
+    /// Mean per-iteration average window length (job execution time).
+    pub window_time: RunningStats,
+    /// Mean per-iteration average window cost.
+    pub window_cost: RunningStats,
+    /// Total alternatives found.
+    pub alternatives: u64,
+    /// Iterations where every job was covered.
+    pub covered_iterations: u64,
+}
+
+/// The ablation outcome: corrected vs literal, for ALP and AMP.
+#[derive(Debug, Clone, Default)]
+pub struct AblationOutcome {
+    /// Iterations simulated.
+    pub iterations: u64,
+    /// ALP under the corrected rule.
+    pub alp_corrected: RuleAggregate,
+    /// ALP under the literal rule.
+    pub alp_literal: RuleAggregate,
+    /// AMP under the corrected rule.
+    pub amp_corrected: RuleAggregate,
+    /// AMP under the literal rule.
+    pub amp_literal: RuleAggregate,
+}
+
+fn record(agg: &mut RuleAggregate, selector: &dyn SlotSelector, list: &SlotList, batch: &Batch) {
+    let outcome = find_alternatives(selector, list, batch).expect("search never fails");
+    agg.alternatives += outcome.alternatives.total_found() as u64;
+    if outcome.alternatives.all_jobs_covered() {
+        agg.covered_iterations += 1;
+    }
+    let mut time = 0.0f64;
+    let mut cost = 0.0f64;
+    let mut n = 0usize;
+    for ja in outcome.alternatives.per_job() {
+        for alt in ja {
+            time += alt.time().ticks() as f64;
+            cost += alt.cost().to_f64();
+            n += 1;
+        }
+    }
+    if n > 0 {
+        agg.window_time.push(time / n as f64);
+        agg.window_cost.push(cost / n as f64);
+    }
+}
+
+/// Runs the ablation over `iterations` generated (list, batch) pairs.
+#[must_use]
+pub fn run_ablation(iterations: u64, seed_offset: u64) -> AblationOutcome {
+    let slot_gen = SlotGenerator::new(SlotGenConfig::default());
+    let job_gen = JobGenerator::new(JobGenConfig::default());
+    let mut outcome = AblationOutcome {
+        iterations,
+        ..AblationOutcome::default()
+    };
+    for i in 0..iterations {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed_offset + i);
+        let list = slot_gen.generate(&mut rng);
+        let batch = job_gen.generate(&mut rng);
+        record(
+            &mut outcome.alp_corrected,
+            &Alp::with_length_rule(LengthRule::Corrected),
+            &list,
+            &batch,
+        );
+        record(
+            &mut outcome.alp_literal,
+            &Alp::with_length_rule(LengthRule::PaperLiteral),
+            &list,
+            &batch,
+        );
+        record(
+            &mut outcome.amp_corrected,
+            &Amp::with_length_rule(LengthRule::Corrected),
+            &list,
+            &batch,
+        );
+        record(
+            &mut outcome.amp_literal,
+            &Amp::with_length_rule(LengthRule::PaperLiteral),
+            &list,
+            &batch,
+        );
+    }
+    outcome
+}
+
+/// Renders the ablation as a table.
+#[must_use]
+pub fn ablation_table(outcome: &AblationOutcome) -> Table {
+    let mut table = Table::new(&[
+        "algorithm",
+        "rule",
+        "avg window time",
+        "avg window cost",
+        "alternatives",
+        "covered iters",
+    ]);
+    let rows: [(&str, &str, &RuleAggregate); 4] = [
+        ("ALP", "corrected", &outcome.alp_corrected),
+        ("ALP", "literal", &outcome.alp_literal),
+        ("AMP", "corrected", &outcome.amp_corrected),
+        ("AMP", "literal", &outcome.amp_literal),
+    ];
+    for (algo, rule, agg) in rows {
+        table.row(&[
+            algo.to_string(),
+            rule.to_string(),
+            f2(agg.window_time.mean()),
+            f2(agg.window_cost.mean()),
+            agg.alternatives.to_string(),
+            format!("{}/{}", agg.covered_iterations, outcome.iterations),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_rule_inflates_window_times() {
+        let outcome = run_ablation(40, 0);
+        // Under the literal rule faster nodes are *required* to hold the
+        // task longer, so realized window lengths grow and coverage drops.
+        assert!(
+            outcome.amp_literal.window_time.mean() > 1.2 * outcome.amp_corrected.window_time.mean(),
+            "literal {} vs corrected {}",
+            outcome.amp_literal.window_time.mean(),
+            outcome.amp_corrected.window_time.mean()
+        );
+        assert!(
+            outcome.amp_literal.alternatives < outcome.amp_corrected.alternatives,
+            "the longer reservations must crowd out alternatives"
+        );
+    }
+
+    #[test]
+    fn table_has_four_rows() {
+        let outcome = run_ablation(5, 0);
+        assert_eq!(ablation_table(&outcome).render().lines().count(), 2 + 4);
+    }
+}

@@ -1,0 +1,183 @@
+//! Text Gantt charts: render vacant slots and committed windows on
+//! per-node resource lines, the way the paper's Fig. 2–3 draws them.
+
+use std::collections::BTreeSet;
+
+use ecosched_core::{NodeId, SlotList, TimePoint, Window};
+
+/// A window with its display label (e.g. `"W1"`).
+#[derive(Debug, Clone)]
+pub struct LabeledWindow<'a> {
+    /// One-character-or-more label; the first character fills the bar.
+    pub label: String,
+    /// The window to draw.
+    pub window: &'a Window,
+}
+
+/// Renders resource lines: vacancies as `░`, windows as their label's
+/// first character, unknown/busy time as spaces.
+///
+/// `ticks_per_char` controls horizontal resolution.
+///
+/// # Panics
+///
+/// Panics if `ticks_per_char` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use ecosched_experiments::gantt::render_gantt;
+/// use ecosched_core::{NodeId, Perf, Price, Slot, SlotId, SlotList, Span, TimePoint};
+///
+/// let slot = Slot::new(
+///     SlotId::new(0),
+///     NodeId::new(1),
+///     Perf::UNIT,
+///     Price::from_credits(2),
+///     Span::new(TimePoint::new(0), TimePoint::new(100)).unwrap(),
+/// ).unwrap();
+/// let list = SlotList::from_slots(vec![slot]).unwrap();
+/// let chart = render_gantt(&list, &[], 10);
+/// assert!(chart.contains("cpu1"));
+/// assert!(chart.contains('░'));
+/// ```
+#[must_use]
+pub fn render_gantt(list: &SlotList, windows: &[LabeledWindow<'_>], ticks_per_char: i64) -> String {
+    assert!(ticks_per_char > 0, "ticks_per_char must be positive");
+    let mut nodes: BTreeSet<NodeId> = list.iter().map(|s| s.node()).collect();
+    for lw in windows {
+        for ws in lw.window.slots() {
+            nodes.insert(ws.node());
+        }
+    }
+    if nodes.is_empty() {
+        return String::from("(empty chart)\n");
+    }
+    let start = list.earliest_start().unwrap_or(TimePoint::ZERO).min(
+        windows
+            .iter()
+            .map(|lw| lw.window.start())
+            .min()
+            .unwrap_or(TimePoint::MAX),
+    );
+    let end = list
+        .iter()
+        .map(|s| s.end())
+        .chain(windows.iter().map(|lw| lw.window.end()))
+        .max()
+        .unwrap_or(start);
+    let width = ((end - start).ticks() as usize).div_ceil(ticks_per_char as usize);
+    let col = |t: TimePoint| (((t - start).ticks() / ticks_per_char) as usize).min(width);
+
+    let mut out = String::new();
+    for node in nodes {
+        let mut row = vec![' '; width];
+        for slot in list.iter().filter(|s| s.node() == node) {
+            for cell in row.iter_mut().take(col(slot.end())).skip(col(slot.start())) {
+                *cell = '░';
+            }
+        }
+        for lw in windows {
+            let mark = lw.label.chars().next().unwrap_or('#');
+            for ws in lw.window.slots().iter().filter(|ws| ws.node() == node) {
+                let span = lw.window.used_span(ws);
+                for cell in row.iter_mut().take(col(span.end())).skip(col(span.start())) {
+                    *cell = mark;
+                }
+            }
+        }
+        out.push_str(&format!("{node:>6} |"));
+        out.extend(row);
+        out.push_str("|\n");
+    }
+    // Time axis.
+    out.push_str(&format!(
+        "{:>6} |{}| (each char = {} ticks, from {})\n",
+        "t",
+        "-".repeat(width),
+        ticks_per_char,
+        start
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecosched_core::{Perf, Price, Slot, SlotId, Span, TimeDelta, WindowSlot};
+
+    fn slot(id: u64, node: u32, a: i64, b: i64) -> Slot {
+        Slot::new(
+            SlotId::new(id),
+            NodeId::new(node),
+            Perf::UNIT,
+            Price::from_credits(1),
+            Span::new(TimePoint::new(a), TimePoint::new(b)).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn draws_vacancies_and_windows() {
+        let s0 = slot(0, 0, 0, 100);
+        let s1 = slot(1, 1, 0, 100);
+        let list = SlotList::from_slots(vec![s0, s1]).unwrap();
+        let window = Window::new(
+            TimePoint::new(20),
+            vec![
+                WindowSlot::from_slot(&s0, TimeDelta::new(30)).unwrap(),
+                WindowSlot::from_slot(&s1, TimeDelta::new(30)).unwrap(),
+            ],
+        )
+        .unwrap();
+        let chart = render_gantt(
+            &list,
+            &[LabeledWindow {
+                label: "W1".into(),
+                window: &window,
+            }],
+            10,
+        );
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 3); // two nodes + axis
+        assert!(lines[0].contains("cpu0"));
+        // The window occupies columns 2..5 on both lines.
+        assert!(lines[0].contains("WWW"));
+        assert!(lines[1].contains("WWW"));
+        assert!(lines[0].contains('░'));
+        assert!(lines[2].contains("10 ticks"));
+    }
+
+    #[test]
+    fn empty_inputs_render_placeholder() {
+        assert_eq!(render_gantt(&SlotList::new(), &[], 10), "(empty chart)\n");
+    }
+
+    #[test]
+    fn window_nodes_appear_even_without_vacancies() {
+        // A committed window's node shows up after its slot was fully
+        // consumed from the list.
+        let s0 = slot(0, 5, 0, 50);
+        let window = Window::new(
+            TimePoint::new(0),
+            vec![WindowSlot::from_slot(&s0, TimeDelta::new(50)).unwrap()],
+        )
+        .unwrap();
+        let chart = render_gantt(
+            &SlotList::new(),
+            &[LabeledWindow {
+                label: "X".into(),
+                window: &window,
+            }],
+            10,
+        );
+        assert!(chart.contains("cpu5"));
+        assert!(chart.contains("XXXXX"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ticks_per_char must be positive")]
+    fn zero_scale_panics() {
+        let _ = render_gantt(&SlotList::new(), &[], 0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Reproduction harness for Toporkov et al. (PaCT 2011).
+//!
+//! One module (and one binary) per table/figure of the paper — the
+//! experiment index lives in DESIGN.md §5, and EXPERIMENTS.md records
+//! paper-vs-measured values:
+//!
+//! | Experiment | Module | Binary |
+//! |------------|--------|--------|
+//! | E1 — Fig. 2–3 worked example | [`paper_example`] | `fig2_3_example` |
+//! | E2/E3 — Fig. 4 + Fig. 5 time minimization | [`runner`] + [`figures`] | `exp_time_min` |
+//! | E4 — Fig. 6 cost minimization | [`runner`] + [`figures`] | `exp_cost_min` |
+//! | E5 — alternative counts / environment prose | [`figures`] | `exp_alternatives` |
+//! | E6 — ρ budget-discount ablation | [`rho_sweep`] | `exp_rho_sweep` |
+//! | E7 — O(m) vs O(m²) scaling | [`scaling`] | `exp_scaling` |
+//! | E8 — condition-2°b length-rule ablation | [`ablation`] | `exp_length_rule` |
+//! | E9 — batch-at-once co-scheduling | [`extensions`] | `exp_coschedule` |
+//! | E10 — supply-and-demand pricing | [`extensions`] | `exp_market` |
+//! | E11 — multi-version strategies vs failures | [`extensions`] | `exp_strategy` |
+//! | E12 — generator-vs-environment validation | `ecosched_sim::analysis` | `exp_env_validation` |
+//! | E13 — flexibility claim, quantified | [`flexibility`] | `exp_flexibility` |
+//!
+//! # Example
+//!
+//! Reproduce a scaled-down Fig. 4 programmatically:
+//!
+//! ```
+//! use ecosched_experiments::figures::{comparison_table, FIG4_TARGETS};
+//! use ecosched_experiments::{run_paired, ExperimentConfig};
+//!
+//! let outcome = run_paired(
+//!     &ExperimentConfig {
+//!         iterations: 200,
+//!         ..ExperimentConfig::default()
+//!     },
+//!     0,
+//! );
+//! assert!(outcome.amp.job_time.mean() < outcome.alp.job_time.mean());
+//! println!("{}", comparison_table(&outcome, &FIG4_TARGETS).render());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod ablation;
+pub mod extensions;
+pub mod figures;
+pub mod flexibility;
+pub mod gantt;
+pub mod paper_example;
+pub mod report;
+pub mod rho_sweep;
+pub mod runner;
+pub mod scaling;
+
+pub use runner::{run_paired, run_seed, ExperimentConfig, PairedOutcome};
+
+/// Parses `--key value` style arguments from the process command line.
+/// Returns `None` when the flag is absent.
+///
+/// # Panics
+///
+/// Panics with a readable message when the flag is present but its value
+/// is missing or unparsable.
+#[must_use]
+pub fn arg_value<T: std::str::FromStr>(flag: &str) -> Option<T> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == flag).map(|pos| {
+        args.get(pos + 1)
+            .unwrap_or_else(|| panic!("{flag} requires a value"))
+            .parse()
+            .unwrap_or_else(|_| panic!("{flag} value is not valid"))
+    })
+}

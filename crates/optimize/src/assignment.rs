@@ -1,0 +1,184 @@
+//! Assignments: the optimizer's output — one chosen alternative per job.
+
+use std::fmt;
+
+use ecosched_core::{JobAlternatives, JobId, Money, TimeDelta};
+use serde::{Deserialize, Serialize};
+
+/// One job's chosen alternative, with its measures denormalized for
+/// reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Choice {
+    /// The job.
+    pub job: JobId,
+    /// Index into the job's [`JobAlternatives`] list.
+    pub alternative: usize,
+    /// The chosen alternative's execution cost `c_i(s̄_i)`.
+    pub cost: Money,
+    /// The chosen alternative's execution time `t_i(s̄_i)`.
+    pub time: TimeDelta,
+}
+
+/// A complete slot combination `s̄ = (s̄_1, …, s̄_n)`: one alternative per
+/// job, in batch order.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Assignment {
+    choices: Vec<Choice>,
+}
+
+impl Assignment {
+    /// Builds an assignment from per-job choice indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` and `alternatives` have different lengths or an
+    /// index is out of range; the optimizer only produces valid indices.
+    #[must_use]
+    pub fn from_indices(alternatives: &[JobAlternatives], indices: &[usize]) -> Self {
+        assert_eq!(alternatives.len(), indices.len(), "one choice per job");
+        let choices = alternatives
+            .iter()
+            .zip(indices)
+            .map(|(ja, &idx)| {
+                let alt = &ja.alternatives()[idx];
+                Choice {
+                    job: ja.job(),
+                    alternative: idx,
+                    cost: alt.cost(),
+                    time: alt.time(),
+                }
+            })
+            .collect();
+        Assignment { choices }
+    }
+
+    /// The per-job choices in batch order.
+    #[must_use]
+    pub fn choices(&self) -> &[Choice] {
+        &self.choices
+    }
+
+    /// Total batch execution cost `C(s̄) = Σ c_i(s̄_i)`.
+    #[must_use]
+    pub fn total_cost(&self) -> Money {
+        self.choices.iter().map(|c| c.cost).sum()
+    }
+
+    /// Total batch execution time `T(s̄) = Σ t_i(s̄_i)`.
+    #[must_use]
+    pub fn total_time(&self) -> TimeDelta {
+        self.choices.iter().map(|c| c.time).sum()
+    }
+
+    /// Number of jobs covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.choices.len()
+    }
+
+    /// Returns `true` if no job is covered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.choices.is_empty()
+    }
+
+    /// Mean per-job execution time, as reported in the paper's Fig. 4–6.
+    #[must_use]
+    pub fn avg_time(&self) -> f64 {
+        if self.choices.is_empty() {
+            0.0
+        } else {
+            self.total_time().ticks() as f64 / self.choices.len() as f64
+        }
+    }
+
+    /// Mean per-job execution cost, as reported in the paper's Fig. 4–6.
+    #[must_use]
+    pub fn avg_cost(&self) -> f64 {
+        if self.choices.is_empty() {
+            0.0
+        } else {
+            self.total_cost().to_f64() / self.choices.len() as f64
+        }
+    }
+}
+
+impl fmt::Display for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "assignment: C(s̄)={}, T(s̄)={}",
+            self.total_cost(),
+            self.total_time()
+        )?;
+        for c in &self.choices {
+            writeln!(
+                f,
+                "  {} → alternative #{} (cost {}, time {})",
+                c.job, c.alternative, c.cost, c.time
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecosched_core::{
+        Alternative, NodeId, Perf, Price, Slot, SlotId, Span, TimePoint, Window, WindowSlot,
+    };
+
+    fn alts(job: u32, specs: &[(i64, i64)]) -> JobAlternatives {
+        let mut ja = JobAlternatives::new(JobId::new(job));
+        for &(price, runtime) in specs {
+            let slot = Slot::new(
+                SlotId::new(0),
+                NodeId::new(0),
+                Perf::UNIT,
+                Price::from_credits(price),
+                Span::new(TimePoint::ZERO, TimePoint::new(10_000)).unwrap(),
+            )
+            .unwrap();
+            let ws = WindowSlot::from_slot(&slot, TimeDelta::new(runtime)).unwrap();
+            ja.push(Alternative::new(
+                JobId::new(job),
+                Window::new(TimePoint::ZERO, vec![ws]).unwrap(),
+            ));
+        }
+        ja
+    }
+
+    #[test]
+    fn totals_sum_choices() {
+        let table = vec![alts(0, &[(2, 10), (1, 30)]), alts(1, &[(5, 8)])];
+        let a = Assignment::from_indices(&table, &[1, 0]);
+        assert_eq!(a.total_cost(), Money::from_credits(30 + 40));
+        assert_eq!(a.total_time(), TimeDelta::new(38));
+        assert_eq!(a.len(), 2);
+        assert!((a.avg_time() - 19.0).abs() < 1e-12);
+        assert!((a.avg_cost() - 35.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_assignment_is_zeroed() {
+        let a = Assignment::default();
+        assert!(a.is_empty());
+        assert_eq!(a.total_cost(), Money::ZERO);
+        assert_eq!(a.avg_time(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one choice per job")]
+    fn mismatched_lengths_panic() {
+        let table = vec![alts(0, &[(1, 1)])];
+        let _ = Assignment::from_indices(&table, &[0, 0]);
+    }
+
+    #[test]
+    fn display_mentions_each_job() {
+        let table = vec![alts(3, &[(2, 10)])];
+        let a = Assignment::from_indices(&table, &[0]);
+        assert!(format!("{a}").contains("job3"));
+    }
+}

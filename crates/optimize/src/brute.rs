@@ -1,0 +1,171 @@
+//! Exhaustive enumeration — the test oracle for the DP solvers.
+//!
+//! Walks every combination of alternatives, so it is only usable on small
+//! tables; [`enumerate`] refuses tables with more than a configurable
+//! number of combinations.
+
+use ecosched_core::{JobAlternatives, Money, TimeDelta};
+
+use crate::assignment::Assignment;
+use crate::error::OptimizeError;
+
+/// Hard cap on the number of combinations [`enumerate`] will visit.
+pub const MAX_COMBINATIONS: u64 = 5_000_000;
+
+/// Calls `visit` with every complete choice-index vector of the table.
+///
+/// # Errors
+///
+/// * [`OptimizeError::EmptyBatch`] / [`OptimizeError::NoAlternatives`] on a
+///   malformed table;
+/// * [`OptimizeError::InvalidParameter`] if the combination count exceeds
+///   [`MAX_COMBINATIONS`].
+pub fn enumerate(
+    alternatives: &[JobAlternatives],
+    mut visit: impl FnMut(&[usize]),
+) -> Result<(), OptimizeError> {
+    if alternatives.is_empty() {
+        return Err(OptimizeError::EmptyBatch);
+    }
+    let mut combos: u64 = 1;
+    for ja in alternatives {
+        if ja.is_empty() {
+            return Err(OptimizeError::NoAlternatives { job: ja.job() });
+        }
+        combos = combos.saturating_mul(ja.len() as u64);
+    }
+    if combos > MAX_COMBINATIONS {
+        return Err(OptimizeError::InvalidParameter {
+            reason: format!("{combos} combinations exceed the brute-force cap"),
+        });
+    }
+    let mut indices = vec![0usize; alternatives.len()];
+    loop {
+        visit(&indices);
+        // Odometer increment.
+        let mut pos = alternatives.len();
+        loop {
+            if pos == 0 {
+                return Ok(());
+            }
+            pos -= 1;
+            indices[pos] += 1;
+            if indices[pos] < alternatives[pos].len() {
+                break;
+            }
+            indices[pos] = 0;
+        }
+    }
+}
+
+/// Brute-force `min T(s̄)` s.t. `C(s̄) ≤ budget`. Exact (no quantization).
+///
+/// # Errors
+///
+/// See [`enumerate`]; additionally [`OptimizeError::Infeasible`] when no
+/// combination fits the budget.
+pub fn min_time_under_budget_brute(
+    alternatives: &[JobAlternatives],
+    budget: Money,
+) -> Result<Assignment, OptimizeError> {
+    let mut best: Option<(TimeDelta, Vec<usize>)> = None;
+    enumerate(alternatives, |indices| {
+        let a = Assignment::from_indices(alternatives, indices);
+        if a.total_cost() <= budget {
+            let t = a.total_time();
+            if best.as_ref().is_none_or(|(bt, _)| t < *bt) {
+                best = Some((t, indices.to_vec()));
+            }
+        }
+    })?;
+    let (_, indices) = best.ok_or(OptimizeError::Infeasible)?;
+    Ok(Assignment::from_indices(alternatives, &indices))
+}
+
+/// Brute-force `min C(s̄)` s.t. `T(s̄) ≤ quota`.
+///
+/// # Errors
+///
+/// See [`min_time_under_budget_brute`].
+pub fn min_cost_under_time_brute(
+    alternatives: &[JobAlternatives],
+    quota: TimeDelta,
+) -> Result<Assignment, OptimizeError> {
+    extremal_cost_under_time(alternatives, quota, false)
+}
+
+/// Brute-force `max C(s̄)` s.t. `T(s̄) ≤ quota` (owners' income).
+///
+/// # Errors
+///
+/// See [`min_time_under_budget_brute`].
+pub fn max_cost_under_time_brute(
+    alternatives: &[JobAlternatives],
+    quota: TimeDelta,
+) -> Result<Assignment, OptimizeError> {
+    extremal_cost_under_time(alternatives, quota, true)
+}
+
+fn extremal_cost_under_time(
+    alternatives: &[JobAlternatives],
+    quota: TimeDelta,
+    maximize: bool,
+) -> Result<Assignment, OptimizeError> {
+    let mut best: Option<(Money, Vec<usize>)> = None;
+    enumerate(alternatives, |indices| {
+        let a = Assignment::from_indices(alternatives, indices);
+        if a.total_time() <= quota {
+            let c = a.total_cost();
+            let better = best
+                .as_ref()
+                .is_none_or(|(bc, _)| if maximize { c > *bc } else { c < *bc });
+            if better {
+                best = Some((c, indices.to_vec()));
+            }
+        }
+    })?;
+    let (_, indices) = best.ok_or(OptimizeError::Infeasible)?;
+    Ok(Assignment::from_indices(alternatives, &indices))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::alts;
+
+    #[test]
+    fn enumerate_visits_every_combination() {
+        let table = vec![
+            alts(0, &[(1, 1), (2, 2)]),
+            alts(1, &[(1, 1), (2, 2), (3, 3)]),
+        ];
+        let mut seen = Vec::new();
+        enumerate(&table, |idx| seen.push(idx.to_vec())).unwrap();
+        assert_eq!(seen.len(), 6);
+        assert!(seen.contains(&vec![1, 2]));
+        assert!(seen.contains(&vec![0, 0]));
+    }
+
+    #[test]
+    fn brute_agrees_with_small_hand_checked_case() {
+        let table = vec![alts(0, &[(10, 10), (2, 40)]), alts(1, &[(8, 10), (3, 30)])];
+        let a = min_time_under_budget_brute(&table, Money::from_credits(13)).unwrap();
+        assert_eq!(a.total_time(), TimeDelta::new(40));
+        let a = min_cost_under_time_brute(&table, TimeDelta::new(50)).unwrap();
+        assert_eq!(a.total_cost(), Money::from_credits(10));
+        let a = min_cost_under_time_brute(&table, TimeDelta::new(45)).unwrap();
+        assert_eq!(a.total_cost(), Money::from_credits(13));
+        let a = max_cost_under_time_brute(&table, TimeDelta::new(100)).unwrap();
+        assert_eq!(a.total_cost(), Money::from_credits(18));
+    }
+
+    #[test]
+    fn infeasible_and_malformed_cases() {
+        let table = vec![alts(0, &[(10, 10)])];
+        assert_eq!(
+            min_time_under_budget_brute(&table, Money::from_credits(1)).unwrap_err(),
+            OptimizeError::Infeasible
+        );
+        assert!(enumerate(&[], |_| {}).is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! Shared helpers for the optimizer's unit tests.
+//!
+//! Builds [`JobAlternatives`] tables with exact `(cost, time)` measures by
+//! composing each synthetic window from a zero-price "length" member plus a
+//! one-tick "cost" member.
+
+use ecosched_core::{
+    Alternative, JobAlternatives, JobId, Money, NodeId, Perf, Price, Slot, SlotId, Span, TimeDelta,
+    TimePoint, Window, WindowSlot,
+};
+
+/// Builds a job's alternatives from `(cost, time)` specs, converting the
+/// first element through `money`.
+pub(crate) fn alts_with(
+    job: u32,
+    specs: &[(i64, i64)],
+    money: fn(i64) -> Money,
+) -> JobAlternatives {
+    let mut ja = JobAlternatives::new(JobId::new(job));
+    for &(cost_raw, time) in specs {
+        assert!(time >= 1, "synthetic alternatives need time ≥ 1");
+        let cost = money(cost_raw);
+        let length_slot = Slot::new(
+            SlotId::new(0),
+            NodeId::new(0),
+            Perf::UNIT,
+            Price::ZERO,
+            Span::new(TimePoint::ZERO, TimePoint::new(1_000_000)).unwrap(),
+        )
+        .unwrap();
+        let cost_slot = Slot::new(
+            SlotId::new(1),
+            NodeId::new(1),
+            Perf::UNIT,
+            Price::from_micro(cost.micro()),
+            Span::new(TimePoint::ZERO, TimePoint::new(1_000_000)).unwrap(),
+        )
+        .unwrap();
+        let window = Window::new(
+            TimePoint::ZERO,
+            vec![
+                WindowSlot::from_slot(&length_slot, TimeDelta::new(time)).unwrap(),
+                WindowSlot::from_slot(&cost_slot, TimeDelta::new(1)).unwrap(),
+            ],
+        )
+        .unwrap();
+        debug_assert_eq!(window.total_cost(), cost);
+        debug_assert_eq!(window.length(), TimeDelta::new(time.max(1)));
+        ja.push(Alternative::new(JobId::new(job), window));
+    }
+    ja
+}
+
+/// Builds a job's alternatives from `(whole credits, ticks)` specs.
+pub(crate) fn alts(job: u32, specs: &[(i64, i64)]) -> JobAlternatives {
+    alts_with(job, specs, Money::from_credits)
+}

@@ -1,0 +1,240 @@
+//! The vector criterion ⟨C(s̄), D(s̄), T(s̄), I(s̄)⟩ from Sec. 2.
+//!
+//! `D(s̄) = B* − C(s̄)` is the unspent budget and `I(s̄) = T* − T(s̄)` the
+//! unspent time quota; the VO administration prefers assignments that spend
+//! less of both.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use ecosched_core::{Money, TimeDelta};
+use serde::{Deserialize, Serialize};
+
+use crate::assignment::Assignment;
+
+/// The four components of the paper's vector criterion for one assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VectorCriteria {
+    /// Total execution cost `C(s̄)`.
+    pub cost: Money,
+    /// Unspent budget `D(s̄) = B* − C(s̄)` (negative when over budget).
+    pub spare_budget: Money,
+    /// Total execution time `T(s̄)`.
+    pub time: TimeDelta,
+    /// Unspent time quota `I(s̄) = T* − T(s̄)` (negative when over quota).
+    pub spare_time: TimeDelta,
+}
+
+impl VectorCriteria {
+    /// Evaluates the vector criterion for `assignment` under the VO limits
+    /// `budget` (`B*`) and `quota` (`T*`).
+    #[must_use]
+    pub fn evaluate(assignment: &Assignment, budget: Money, quota: TimeDelta) -> Self {
+        let cost = assignment.total_cost();
+        let time = assignment.total_time();
+        VectorCriteria {
+            cost,
+            spare_budget: budget - cost,
+            time,
+            spare_time: quota - time,
+        }
+    }
+
+    /// Returns `true` if the assignment respects both limits.
+    #[must_use]
+    pub fn feasible(&self) -> bool {
+        self.spare_budget >= Money::ZERO && self.spare_time >= TimeDelta::ZERO
+    }
+
+    /// Pareto dominance: `self` dominates `other` when it is no worse on
+    /// both cost and time and strictly better on at least one. (With fixed
+    /// `B*`/`T*`, the spare components order identically, so the 4-vector
+    /// comparison collapses to this 2-vector one.)
+    #[must_use]
+    pub fn dominates(&self, other: &VectorCriteria) -> bool {
+        let cost = self.cost.cmp(&other.cost);
+        let time = self.time.cmp(&other.time);
+        cost != Ordering::Greater
+            && time != Ordering::Greater
+            && (cost == Ordering::Less || time == Ordering::Less)
+    }
+}
+
+impl fmt::Display for VectorCriteria {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "⟨C={}, D={}, T={}, I={}⟩",
+            self.cost, self.spare_budget, self.time, self.spare_time
+        )
+    }
+}
+
+/// The VO's decision menu for the paper's general vector-criteria case:
+/// every Pareto-efficient combination that respects both limits, paired
+/// with its ⟨C, D, T, I⟩ evaluation and sorted by increasing cost.
+///
+/// # Errors
+///
+/// Propagates [`crate::OptimizeError`] from frontier construction
+/// (malformed table); an empty menu (nothing feasible) is `Ok(vec![])`.
+///
+/// # Examples
+///
+/// ```
+/// # use ecosched_core::{Alternative, JobAlternatives, JobId, Money, NodeId, Perf, Price,
+/// #     Slot, SlotId, Span, TimeDelta, TimePoint, Window, WindowSlot};
+/// use ecosched_optimize::{efficient_menu, time_quota, vo_budget};
+/// # fn alt(job: u32, price: i64, time: i64) -> Alternative {
+/// #     let slot = Slot::new(SlotId::new(0), NodeId::new(0), Perf::UNIT,
+/// #         Price::from_credits(price),
+/// #         Span::new(TimePoint::ZERO, TimePoint::new(100_000)).unwrap()).unwrap();
+/// #     let ws = WindowSlot::from_slot(&slot, TimeDelta::new(time)).unwrap();
+/// #     Alternative::new(JobId::new(job), Window::new(TimePoint::ZERO, vec![ws]).unwrap())
+/// # }
+/// let mut ja = JobAlternatives::new(JobId::new(0));
+/// ja.push(alt(0, 5, 10)); // fast, pricey
+/// ja.push(alt(0, 1, 40)); // slow, cheap
+/// let table = vec![ja];
+///
+/// let quota = TimeDelta::new(40);
+/// let budget = Money::from_credits(200);
+/// let menu = efficient_menu(&table, budget, quota)?;
+/// assert_eq!(menu.len(), 2); // both trade-offs are feasible and efficient
+/// assert!(menu[0].1.feasible());
+/// # Ok::<(), ecosched_optimize::OptimizeError>(())
+/// ```
+pub fn efficient_menu(
+    alternatives: &[ecosched_core::JobAlternatives],
+    budget: Money,
+    quota: TimeDelta,
+) -> Result<Vec<(Assignment, VectorCriteria)>, crate::OptimizeError> {
+    let frontier = crate::ParetoFrontier::new(alternatives)?;
+    Ok(frontier
+        .assignments()
+        .into_iter()
+        .filter_map(|assignment| {
+            let criteria = VectorCriteria::evaluate(&assignment, budget, quota);
+            criteria.feasible().then_some((assignment, criteria))
+        })
+        .collect())
+}
+
+/// Filters a set of criteria down to its Pareto-optimal subset (indices
+/// into the input, in input order).
+#[must_use]
+pub fn pareto_optimal(criteria: &[VectorCriteria]) -> Vec<usize> {
+    (0..criteria.len())
+        .filter(|&i| {
+            !criteria
+                .iter()
+                .enumerate()
+                .any(|(j, other)| j != i && other.dominates(&criteria[i]))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::alts;
+    use crate::Assignment as A;
+
+    fn vc(cost: i64, time: i64) -> VectorCriteria {
+        VectorCriteria {
+            cost: Money::from_credits(cost),
+            spare_budget: Money::from_credits(100 - cost),
+            time: TimeDelta::new(time),
+            spare_time: TimeDelta::new(100 - time),
+        }
+    }
+
+    #[test]
+    fn evaluate_computes_spares() {
+        let table = vec![alts(0, &[(10, 20)])];
+        let a = A::from_indices(&table, &[0]);
+        let v = VectorCriteria::evaluate(&a, Money::from_credits(25), TimeDelta::new(30));
+        assert_eq!(v.cost, Money::from_credits(10));
+        assert_eq!(v.spare_budget, Money::from_credits(15));
+        assert_eq!(v.time, TimeDelta::new(20));
+        assert_eq!(v.spare_time, TimeDelta::new(10));
+        assert!(v.feasible());
+    }
+
+    #[test]
+    fn infeasible_when_over_limits() {
+        let table = vec![alts(0, &[(10, 20)])];
+        let a = A::from_indices(&table, &[0]);
+        assert!(
+            !VectorCriteria::evaluate(&a, Money::from_credits(9), TimeDelta::new(30)).feasible()
+        );
+        assert!(
+            !VectorCriteria::evaluate(&a, Money::from_credits(25), TimeDelta::new(19)).feasible()
+        );
+    }
+
+    #[test]
+    fn dominance_is_strict_and_partial() {
+        assert!(vc(5, 5).dominates(&vc(6, 6)));
+        assert!(vc(5, 5).dominates(&vc(5, 6)));
+        assert!(!vc(5, 5).dominates(&vc(5, 5)));
+        assert!(!vc(4, 7).dominates(&vc(7, 4)));
+        assert!(!vc(7, 4).dominates(&vc(4, 7)));
+    }
+
+    #[test]
+    fn pareto_filter_keeps_the_frontier() {
+        let set = vec![vc(5, 9), vc(6, 6), vc(9, 5), vc(7, 7), vc(5, 9)];
+        let keep = pareto_optimal(&set);
+        // vc(7,7) dominated by vc(6,6); duplicates of vc(5,9) both survive
+        // (neither strictly dominates the other).
+        assert_eq!(keep, vec![0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn display_has_all_components() {
+        let text = format!("{}", vc(5, 9));
+        assert!(text.contains("C="));
+        assert!(text.contains("I="));
+    }
+}
+
+#[cfg(test)]
+mod menu_tests {
+    use super::*;
+    use crate::test_support::alts;
+
+    #[test]
+    fn menu_contains_only_feasible_efficient_points() {
+        let table = vec![
+            alts(0, &[(10, 10), (2, 40), (6, 20)]),
+            alts(1, &[(8, 10), (3, 30)]),
+        ];
+        let budget = Money::from_credits(15);
+        let quota = TimeDelta::new(60);
+        let menu = efficient_menu(&table, budget, quota).unwrap();
+        assert!(!menu.is_empty());
+        for (assignment, criteria) in &menu {
+            assert!(criteria.feasible());
+            assert!(assignment.total_cost() <= budget);
+            assert!(assignment.total_time() <= quota);
+        }
+        // Sorted by increasing cost, strictly decreasing time.
+        for pair in menu.windows(2) {
+            assert!(pair[0].0.total_cost() < pair[1].0.total_cost());
+            assert!(pair[0].0.total_time() > pair[1].0.total_time());
+        }
+    }
+
+    #[test]
+    fn impossible_limits_yield_an_empty_menu() {
+        let table = vec![alts(0, &[(10, 10)])];
+        let menu = efficient_menu(&table, Money::from_credits(1), TimeDelta::new(1)).unwrap();
+        assert!(menu.is_empty());
+    }
+
+    #[test]
+    fn malformed_table_is_an_error() {
+        assert!(efficient_menu(&[], Money::MAX, TimeDelta::MAX).is_err());
+    }
+}

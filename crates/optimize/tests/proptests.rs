@@ -1,0 +1,178 @@
+//! Property tests: the DP solvers agree with brute force and the Pareto
+//! sweep on random alternative tables.
+
+use ecosched_core::{
+    Alternative, JobAlternatives, JobId, Money, NodeId, Perf, Price, Slot, SlotId, Span, TimeDelta,
+    TimePoint, Window, WindowSlot,
+};
+use ecosched_optimize::{
+    brute, max_cost_under_time, min_cost_under_time, min_time_under_budget, time_quota, vo_budget,
+    ParetoFrontier,
+};
+use proptest::prelude::*;
+
+/// Builds an alternative with exact integer-credit cost and tick time.
+fn alternative(job: u32, cost_credits: i64, time: i64) -> Alternative {
+    let length_slot = Slot::new(
+        SlotId::new(0),
+        NodeId::new(0),
+        Perf::UNIT,
+        Price::ZERO,
+        Span::new(TimePoint::ZERO, TimePoint::new(1_000_000)).unwrap(),
+    )
+    .unwrap();
+    let cost_slot = Slot::new(
+        SlotId::new(1),
+        NodeId::new(1),
+        Perf::UNIT,
+        Price::from_credits(cost_credits),
+        Span::new(TimePoint::ZERO, TimePoint::new(1_000_000)).unwrap(),
+    )
+    .unwrap();
+    let window = Window::new(
+        TimePoint::ZERO,
+        vec![
+            WindowSlot::from_slot(&length_slot, TimeDelta::new(time)).unwrap(),
+            WindowSlot::from_slot(&cost_slot, TimeDelta::new(1)).unwrap(),
+        ],
+    )
+    .unwrap();
+    Alternative::new(JobId::new(job), window)
+}
+
+/// Strategy: a random alternatives table (2–4 jobs, 1–5 alternatives each,
+/// integer costs so quantization at 1 credit is exact).
+fn table_strategy() -> impl Strategy<Value = Vec<JobAlternatives>> {
+    prop::collection::vec(prop::collection::vec((1i64..30, 2i64..80), 1..6), 2..5).prop_map(
+        |jobs| {
+            jobs.into_iter()
+                .enumerate()
+                .map(|(i, specs)| {
+                    let mut ja = JobAlternatives::new(JobId::new(i as u32));
+                    for (cost, time) in specs {
+                        ja.push(alternative(i as u32, cost, time));
+                    }
+                    ja
+                })
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn dp_matches_brute_min_cost(table in table_strategy(), quota in 10i64..300) {
+        let quota = TimeDelta::new(quota);
+        match (min_cost_under_time(&table, quota), brute::min_cost_under_time_brute(&table, quota)) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.total_cost(), b.total_cost());
+                prop_assert!(a.total_time() <= quota);
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "feasibility disagrees: {:?} vs {:?}", a, b),
+        }
+    }
+
+    #[test]
+    fn dp_matches_brute_max_cost(table in table_strategy(), quota in 10i64..300) {
+        let quota = TimeDelta::new(quota);
+        match (max_cost_under_time(&table, quota), brute::max_cost_under_time_brute(&table, quota)) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a.total_cost(), b.total_cost()),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "feasibility disagrees: {:?} vs {:?}", a, b),
+        }
+    }
+
+    #[test]
+    fn dp_matches_brute_min_time(table in table_strategy(), budget in 5i64..120) {
+        // Costs are whole credits, so a 1-credit resolution is lossless and
+        // the quantized DP must match the exact brute force.
+        let budget = Money::from_credits(budget);
+        let res = Money::from_credits(1);
+        match (
+            min_time_under_budget(&table, budget, res),
+            brute::min_time_under_budget_brute(&table, budget),
+        ) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.total_time(), b.total_time());
+                prop_assert!(a.total_cost() <= budget);
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "feasibility disagrees: {:?} vs {:?}", a, b),
+        }
+    }
+
+    #[test]
+    fn pareto_matches_dp(table in table_strategy(), quota in 10i64..300, budget in 5i64..120) {
+        let frontier = ParetoFrontier::new(&table).unwrap();
+        let quota = TimeDelta::new(quota);
+        let budget = Money::from_credits(budget);
+
+        match (frontier.min_cost_under_time(quota), min_cost_under_time(&table, quota)) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a.total_cost(), b.total_cost()),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "cost feasibility disagrees: {:?} vs {:?}", a, b),
+        }
+        match (
+            frontier.min_time_under_budget(budget),
+            min_time_under_budget(&table, budget, Money::from_credits(1)),
+        ) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a.total_time(), b.total_time()),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "time feasibility disagrees: {:?} vs {:?}", a, b),
+        }
+    }
+
+    #[test]
+    fn vo_limits_are_consistent(table in table_strategy()) {
+        let quota = time_quota(&table);
+        prop_assert!(quota >= TimeDelta::ZERO);
+        if let Ok(budget) = vo_budget(&table) {
+            // The income-maximal assignment within T* also bounds any
+            // feasible min-cost assignment.
+            let min_cost = min_cost_under_time(&table, quota).unwrap();
+            prop_assert!(min_cost.total_cost() <= budget);
+            // And the budget must admit at least one time-minimization run.
+            let a = min_time_under_budget(&table, budget, Money::from_credits(1)).unwrap();
+            prop_assert!(a.total_cost() <= budget);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantized_dp_respects_its_error_bound(
+        table in table_strategy(),
+        budget in 20i64..150,
+        res_credits in 2i64..8,
+    ) {
+        // The quantized DP rounds each alternative's cost *up* to the
+        // resolution r, so (a) its result is always truly within budget,
+        // and (b) whenever the exact problem is feasible at B − n·r, the
+        // quantized one is feasible at B and no worse than that shrunken
+        // exact optimum.
+        let budget = Money::from_credits(budget);
+        let resolution = Money::from_credits(res_credits);
+        let n = table.len() as i64;
+        let dp = min_time_under_budget(&table, budget, resolution);
+        if let Ok(a) = &dp {
+            prop_assert!(a.total_cost() <= budget, "quantized result over budget");
+        }
+        let shrunken = budget - Money::from_credits(res_credits * n);
+        if shrunken > Money::ZERO {
+            if let Ok(exact) = brute::min_time_under_budget_brute(&table, shrunken) {
+                let dp = dp.expect("feasible at B − n·r implies quantized-feasible at B");
+                prop_assert!(
+                    dp.total_time() <= exact.total_time(),
+                    "quantized time {} worse than shrunken-exact {}",
+                    dp.total_time(),
+                    exact.total_time()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Counters describing the work done by the slot-selection algorithms.
+//!
+//! The paper's central complexity claim is that ALP and AMP are `O(m)` in
+//! the number of available slots because the scan only moves forward.
+//! [`ScanStats::slots_examined`] makes that claim checkable: a single
+//! `find_window` call examines each slot of the list at most once.
+
+use serde::{Deserialize, Serialize};
+
+/// Work counters for window searches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScanStats {
+    /// Slots taken from the ordered list and tested (step 2° executions).
+    pub slots_examined: u64,
+    /// Slots that passed admission and entered the candidate pool.
+    pub slots_admitted: u64,
+    /// Pool members dropped because their remaining length expired
+    /// (step 3° removals).
+    pub slots_expired: u64,
+    /// Budget tests performed (AMP step 2° iterations; for ALP this counts
+    /// the single acceptance check per window).
+    pub acceptance_tests: u64,
+    /// Windows successfully assembled.
+    pub windows_found: u64,
+}
+
+impl ScanStats {
+    /// A zeroed counter set.
+    #[must_use]
+    pub fn new() -> Self {
+        ScanStats::default()
+    }
+
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, other: &ScanStats) {
+        self.slots_examined += other.slots_examined;
+        self.slots_admitted += other.slots_admitted;
+        self.slots_expired += other.slots_expired;
+        self.acceptance_tests += other.acceptance_tests;
+        self.windows_found += other.windows_found;
+    }
+}
+
+/// Counters for a whole multi-pass alternatives search.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// Number of passes over the batch (each pass attempts every live job).
+    pub passes: u64,
+    /// Total windows committed as alternatives.
+    pub windows_committed: u64,
+    /// Aggregated scan counters over every `find_window` call.
+    pub scan: ScanStats,
+}
+
+impl SearchStats {
+    /// A zeroed counter set.
+    #[must_use]
+    pub fn new() -> Self {
+        SearchStats::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = ScanStats {
+            slots_examined: 1,
+            slots_admitted: 2,
+            slots_expired: 3,
+            acceptance_tests: 4,
+            windows_found: 5,
+        };
+        let b = ScanStats {
+            slots_examined: 10,
+            slots_admitted: 20,
+            slots_expired: 30,
+            acceptance_tests: 40,
+            windows_found: 50,
+        };
+        a.merge(&b);
+        assert_eq!(a.slots_examined, 11);
+        assert_eq!(a.slots_admitted, 22);
+        assert_eq!(a.slots_expired, 33);
+        assert_eq!(a.acceptance_tests, 44);
+        assert_eq!(a.windows_found, 55);
+    }
+
+    #[test]
+    fn new_is_zeroed() {
+        assert_eq!(ScanStats::new(), ScanStats::default());
+        assert_eq!(SearchStats::new().passes, 0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Descriptive statistics over vacant-slot lists.
+//!
+//! Used by the generator-validation experiment: the paper replaced "the
+//! whole distributed system model" with directly generated slot lists;
+//! profiling both shows in which respects the shortcut is faithful.
+
+use ecosched_core::{SlotList, TimeDelta};
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of one slot list.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlotListProfile {
+    /// Number of slots.
+    pub slots: usize,
+    /// Mean slot length in ticks.
+    pub mean_length: f64,
+    /// Mean node performance rate.
+    pub mean_perf: f64,
+    /// Mean price per time unit.
+    pub mean_price: f64,
+    /// Mean price/quality ratio `C/P` (Sec. 6's measure).
+    pub mean_price_quality: f64,
+    /// Fraction of adjacent slot pairs sharing a start time.
+    pub same_start_share: f64,
+    /// Mean number of slots concurrently live at each slot start.
+    pub mean_concurrency: f64,
+    /// Distance from first start to last end.
+    pub horizon: TimeDelta,
+}
+
+impl SlotListProfile {
+    /// Profiles a slot list. Zero-valued for an empty list.
+    #[must_use]
+    pub fn of(list: &SlotList) -> Self {
+        let n = list.len();
+        if n == 0 {
+            return SlotListProfile {
+                slots: 0,
+                mean_length: 0.0,
+                mean_perf: 0.0,
+                mean_price: 0.0,
+                mean_price_quality: 0.0,
+                same_start_share: 0.0,
+                mean_concurrency: 0.0,
+                horizon: TimeDelta::ZERO,
+            };
+        }
+        let nf = n as f64;
+        let mean_length = list.iter().map(|s| s.length().ticks() as f64).sum::<f64>() / nf;
+        let mean_perf = list.iter().map(|s| s.perf().to_f64()).sum::<f64>() / nf;
+        let mean_price = list.iter().map(|s| s.price().to_f64()).sum::<f64>() / nf;
+        let mean_price_quality = list
+            .iter()
+            .map(|s| s.price().to_f64() / s.perf().to_f64())
+            .sum::<f64>()
+            / nf;
+        let same_start_share = if n < 2 {
+            0.0
+        } else {
+            list.as_slice()
+                .windows(2)
+                .filter(|w| w[0].start() == w[1].start())
+                .count() as f64
+                / (n - 1) as f64
+        };
+        let mean_concurrency = list
+            .iter()
+            .map(|anchor| {
+                list.iter()
+                    .filter(|s| s.start() <= anchor.start() && anchor.start() < s.end())
+                    .count() as f64
+            })
+            .sum::<f64>()
+            / nf;
+        let first = list.earliest_start().expect("non-empty list");
+        let last_end = list.iter().map(|s| s.end()).max().expect("non-empty list");
+        SlotListProfile {
+            slots: n,
+            mean_length,
+            mean_perf,
+            mean_price,
+            mean_price_quality,
+            same_start_share,
+            mean_concurrency,
+            horizon: last_end - first,
+        }
+    }
+
+    /// Averages a set of profiles (component-wise; `slots` rounds down).
+    #[must_use]
+    pub fn mean_of(profiles: &[SlotListProfile]) -> SlotListProfile {
+        if profiles.is_empty() {
+            return SlotListProfile::of(&SlotList::new());
+        }
+        let nf = profiles.len() as f64;
+        SlotListProfile {
+            slots: (profiles.iter().map(|p| p.slots).sum::<usize>() as f64 / nf) as usize,
+            mean_length: profiles.iter().map(|p| p.mean_length).sum::<f64>() / nf,
+            mean_perf: profiles.iter().map(|p| p.mean_perf).sum::<f64>() / nf,
+            mean_price: profiles.iter().map(|p| p.mean_price).sum::<f64>() / nf,
+            mean_price_quality: profiles.iter().map(|p| p.mean_price_quality).sum::<f64>() / nf,
+            same_start_share: profiles.iter().map(|p| p.same_start_share).sum::<f64>() / nf,
+            mean_concurrency: profiles.iter().map(|p| p.mean_concurrency).sum::<f64>() / nf,
+            horizon: TimeDelta::new(
+                (profiles.iter().map(|p| p.horizon.ticks()).sum::<i64>() as f64 / nf) as i64,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecosched_core::{NodeId, Perf, Price, Slot, SlotId, Span, TimePoint};
+
+    fn slot(id: u64, node: u32, perf: f64, price: i64, a: i64, b: i64) -> Slot {
+        Slot::new(
+            SlotId::new(id),
+            NodeId::new(node),
+            Perf::from_f64(perf),
+            Price::from_credits(price),
+            Span::new(TimePoint::new(a), TimePoint::new(b)).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn profile_of_handcrafted_list() {
+        let list = SlotList::from_slots(vec![
+            slot(0, 0, 1.0, 2, 0, 100),  // length 100
+            slot(1, 1, 2.0, 4, 0, 50),   // length 50, same start
+            slot(2, 2, 3.0, 6, 80, 180), // length 100
+        ])
+        .unwrap();
+        let p = SlotListProfile::of(&list);
+        assert_eq!(p.slots, 3);
+        assert!((p.mean_length - (100.0 + 50.0 + 100.0) / 3.0).abs() < 1e-9);
+        assert!((p.mean_perf - 2.0).abs() < 1e-9);
+        assert!((p.mean_price - 4.0).abs() < 1e-9);
+        assert!((p.mean_price_quality - 2.0).abs() < 1e-9);
+        assert!((p.same_start_share - 0.5).abs() < 1e-9);
+        // Concurrency at starts: at t=0 → 2 live; at t=0 → 2; at t=80 → 2.
+        assert!((p.mean_concurrency - 2.0).abs() < 1e-9);
+        assert_eq!(p.horizon, TimeDelta::new(180));
+    }
+
+    #[test]
+    fn empty_list_profiles_to_zero() {
+        let p = SlotListProfile::of(&SlotList::new());
+        assert_eq!(p.slots, 0);
+        assert_eq!(p.mean_concurrency, 0.0);
+        assert_eq!(SlotListProfile::mean_of(&[]).slots, 0);
+    }
+
+    #[test]
+    fn mean_of_averages_componentwise() {
+        let list = SlotList::from_slots(vec![slot(0, 0, 1.0, 2, 0, 100)]).unwrap();
+        let p = SlotListProfile::of(&list);
+        let m = SlotListProfile::mean_of(&[p, p]);
+        assert_eq!(m.slots, 1);
+        assert!((m.mean_length - p.mean_length).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generated_lists_profile_within_configured_bands() {
+        use crate::{SlotGenConfig, SlotGenerator};
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let list = SlotGenerator::new(SlotGenConfig::default()).generate(&mut rng);
+        let p = SlotListProfile::of(&list);
+        assert!((50.0..=300.0).contains(&p.mean_length));
+        assert!((1.0..=3.0).contains(&p.mean_perf));
+        // Same-start share tracks the configured 0.4 probability plus the
+        // zero draws of the [0, 10] gap (≈ 0.4 + 0.6/11 ≈ 0.45 expected).
+        assert!(
+            (0.25..=0.65).contains(&p.same_start_share),
+            "{}",
+            p.same_start_share
+        );
+        // "At each moment of time we have at least five different slots
+        // ready for utilization" (paper Sec. 5).
+        assert!(p.mean_concurrency >= 5.0, "{}", p.mean_concurrency);
+    }
+}

@@ -1,0 +1,226 @@
+//! Generator configurations, defaulting to the paper's Sec. 5 parameters.
+//!
+//! Every option is a uniform distribution over an inclusive interval, as in
+//! the paper ("all job batch and slot list options are random variables
+//! that have a uniform distribution inside the identified intervals").
+
+use serde::{Deserialize, Serialize};
+
+/// An inclusive interval for a uniform integer draw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntRange {
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Inclusive upper bound.
+    pub hi: i64,
+}
+
+impl IntRange {
+    /// Creates an inclusive integer interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[must_use]
+    pub fn new(lo: i64, hi: i64) -> Self {
+        assert!(lo <= hi, "empty interval [{lo}, {hi}]");
+        IntRange { lo, hi }
+    }
+
+    /// Midpoint of the interval (for reporting).
+    #[must_use]
+    pub fn mid(&self) -> f64 {
+        (self.lo + self.hi) as f64 / 2.0
+    }
+}
+
+/// An inclusive interval for a uniform real draw.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RealRange {
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Inclusive upper bound.
+    pub hi: f64,
+}
+
+impl RealRange {
+    /// Creates an inclusive real interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is not finite.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+        assert!(lo <= hi, "empty interval [{lo}, {hi}]");
+        RealRange { lo, hi }
+    }
+
+    /// Midpoint of the interval (for reporting).
+    #[must_use]
+    pub fn mid(&self) -> f64 {
+        (self.lo + self.hi) / 2.0
+    }
+}
+
+/// Configuration of the ordered-slot-list generator (the paper's
+/// `SlotGenerator`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlotGenConfig {
+    /// Number of slots in the list. Paper: `[120, 150]`.
+    pub slot_count: IntRange,
+    /// Length of each slot. Paper: `[50, 300]`.
+    pub slot_length: IntRange,
+    /// Node performance rate. Paper: `[1, 3]` ("relatively homogeneous").
+    pub node_perf: RealRange,
+    /// Probability that a slot shares its start with the previous one —
+    /// resources released in cluster-sized chunks. Paper: `0.4`.
+    pub same_start_probability: f64,
+    /// Gap between neighbouring slot starts when not shared. Paper:
+    /// `[0, 10]` ("at least five different slots ready at any moment").
+    pub start_gap: IntRange,
+    /// The base of the price model `p = price_base ^ performance`.
+    /// Paper: `1.7`.
+    pub price_base: f64,
+    /// Multiplicative price jitter around `p`. Paper: `[0.75, 1.25]`.
+    pub price_jitter: RealRange,
+}
+
+impl Default for SlotGenConfig {
+    /// The paper's Sec. 5 values.
+    fn default() -> Self {
+        SlotGenConfig {
+            slot_count: IntRange::new(120, 150),
+            slot_length: IntRange::new(50, 300),
+            node_perf: RealRange::new(1.0, 3.0),
+            same_start_probability: 0.4,
+            start_gap: IntRange::new(0, 10),
+            price_base: 1.7,
+            price_jitter: RealRange::new(0.75, 1.25),
+        }
+    }
+}
+
+impl SlotGenConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same-start probability is outside `[0, 1]`, a length
+    /// bound is non-positive, or the price model is non-positive.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.same_start_probability),
+            "probability must be in [0, 1]"
+        );
+        assert!(self.slot_count.lo >= 1, "need at least one slot");
+        assert!(self.slot_length.lo >= 1, "slots need positive length");
+        assert!(self.node_perf.lo > 0.0, "performance must be positive");
+        assert!(self.start_gap.lo >= 0, "gaps cannot be negative");
+        assert!(self.price_base > 0.0, "price base must be positive");
+        assert!(self.price_jitter.lo > 0.0, "price jitter must be positive");
+    }
+}
+
+/// Configuration of the batch generator (the paper's `JobGenerator`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobGenConfig {
+    /// Jobs per batch. Paper: `[3, 7]`.
+    pub jobs_per_batch: IntRange,
+    /// Nodes required per job. Paper: `[1, 6]`.
+    pub nodes: IntRange,
+    /// Job length ("complexity"). Paper: `[50, 150]`.
+    pub length: IntRange,
+    /// Minimum required node performance. Paper: `[1, 2]`.
+    pub min_perf: RealRange,
+    /// The price-cap derivation factor (DESIGN.md note R3): the per-slot
+    /// cap is `C = factor · price_base ^ min_perf`. Not specified by the
+    /// paper; default `[0.75, 1.25]` — the same jitter interval the slot
+    /// prices use — calibrated so the alternatives-per-job and time/cost
+    /// gaps land near the paper's (see EXPERIMENTS.md).
+    pub budget_factor: RealRange,
+    /// The price base used in the cap derivation; keep equal to
+    /// [`SlotGenConfig::price_base`].
+    pub price_base: f64,
+}
+
+impl Default for JobGenConfig {
+    /// The paper's Sec. 5 values plus the R3 default calibration.
+    fn default() -> Self {
+        JobGenConfig {
+            jobs_per_batch: IntRange::new(3, 7),
+            nodes: IntRange::new(1, 6),
+            length: IntRange::new(50, 150),
+            min_perf: RealRange::new(1.0, 2.0),
+            budget_factor: RealRange::new(0.75, 1.25),
+            price_base: 1.7,
+        }
+    }
+}
+
+impl JobGenConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive job counts, node counts, lengths,
+    /// performance, or budget factors.
+    pub fn validate(&self) {
+        assert!(self.jobs_per_batch.lo >= 1, "batches need at least one job");
+        assert!(self.nodes.lo >= 1, "jobs need at least one node");
+        assert!(self.length.lo >= 1, "jobs need positive length");
+        assert!(self.min_perf.lo > 0.0, "performance must be positive");
+        assert!(
+            self.budget_factor.lo > 0.0,
+            "budget factor must be positive"
+        );
+        assert!(self.price_base > 0.0, "price base must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let s = SlotGenConfig::default();
+        assert_eq!((s.slot_count.lo, s.slot_count.hi), (120, 150));
+        assert_eq!((s.slot_length.lo, s.slot_length.hi), (50, 300));
+        assert_eq!((s.node_perf.lo, s.node_perf.hi), (1.0, 3.0));
+        assert_eq!(s.same_start_probability, 0.4);
+        assert_eq!((s.start_gap.lo, s.start_gap.hi), (0, 10));
+        assert_eq!(s.price_base, 1.7);
+
+        let j = JobGenConfig::default();
+        assert_eq!((j.jobs_per_batch.lo, j.jobs_per_batch.hi), (3, 7));
+        assert_eq!((j.nodes.lo, j.nodes.hi), (1, 6));
+        assert_eq!((j.length.lo, j.length.hi), (50, 150));
+        assert_eq!((j.min_perf.lo, j.min_perf.hi), (1.0, 2.0));
+
+        s.validate();
+        j.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "empty interval")]
+    fn reversed_int_range_panics() {
+        let _ = IntRange::new(5, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must be in")]
+    fn bad_probability_panics() {
+        let c = SlotGenConfig {
+            same_start_probability: 1.5,
+            ..SlotGenConfig::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    fn midpoints() {
+        assert_eq!(IntRange::new(0, 10).mid(), 5.0);
+        assert_eq!(RealRange::new(1.0, 2.0).mid(), 1.5);
+    }
+}

@@ -1,0 +1,114 @@
+//! Vacant-slot extraction: from local schedules to the metascheduler's
+//! ordered slot list.
+
+use ecosched_core::{Slot, SlotList};
+
+use crate::env::cluster::Environment;
+use crate::env::local::Occupancy;
+
+/// Builds the start-ordered vacant-slot list the metascheduler works on:
+/// for every node, the complement of its local busy time within the
+/// published horizon, priced and rated per the node's [`ecosched_core::Resource`].
+///
+/// # Examples
+///
+/// ```
+/// use ecosched_sim::env::{extract_vacant_slots, EnvConfig, Environment, generate_local_flow};
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+///
+/// let cfg = EnvConfig::default();
+/// let mut rng = ChaCha8Rng::seed_from_u64(1);
+/// let env = Environment::generate(&cfg, &mut rng);
+/// let occupancy = generate_local_flow(&env, &cfg, &mut rng);
+/// let list = extract_vacant_slots(&env, &occupancy);
+/// assert!(list.len() >= env.node_count()); // fragmentation only adds slots
+/// ```
+#[must_use]
+pub fn extract_vacant_slots(env: &Environment, occupancy: &Occupancy) -> SlotList {
+    let mut list = SlotList::new();
+    let mut slots: Vec<(u64, Slot)> = Vec::new();
+    let mut next = 0u64;
+    for (_, resource) in env.nodes() {
+        for span in occupancy.vacancies(resource.id(), env.horizon()) {
+            let id = ecosched_core::SlotId::new(next);
+            next += 1;
+            let slot = Slot::on_resource(id, resource, span)
+                .expect("vacancies are non-empty by construction");
+            slots.push((id.raw(), slot));
+        }
+    }
+    for (_, slot) in slots {
+        list.insert(slot).expect("fresh ids cannot collide");
+    }
+    list
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::cluster::EnvConfig;
+    use crate::env::local::generate_local_flow;
+    use ecosched_core::{TimeDelta, TimePoint};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup(seed: u64) -> (Environment, Occupancy, SlotList) {
+        let cfg = EnvConfig::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let env = Environment::generate(&cfg, &mut rng);
+        let occ = generate_local_flow(&env, &cfg, &mut rng);
+        let list = extract_vacant_slots(&env, &occ);
+        (env, occ, list)
+    }
+
+    #[test]
+    fn extracted_list_is_valid_and_ordered() {
+        let (_, _, list) = setup(1);
+        list.validate().unwrap();
+        assert!(!list.is_empty());
+    }
+
+    #[test]
+    fn vacancy_time_is_conserved() {
+        let (env, occ, list) = setup(2);
+        let horizon_total = TimeDelta::new(env.horizon().ticks() * env.node_count() as i64);
+        assert_eq!(list.total_vacant_time() + occ.total_busy(), horizon_total);
+    }
+
+    #[test]
+    fn slots_inherit_node_attributes() {
+        let (env, _, list) = setup(3);
+        for slot in &list {
+            let resource = env
+                .nodes()
+                .map(|(_, r)| r)
+                .find(|r| r.id() == slot.node())
+                .expect("slot nodes come from the environment");
+            assert_eq!(slot.perf(), resource.perf());
+            assert_eq!(slot.price(), resource.price());
+        }
+    }
+
+    #[test]
+    fn slots_stay_inside_horizon() {
+        let (env, _, list) = setup(4);
+        let end = TimePoint::ZERO + env.horizon();
+        for slot in &list {
+            assert!(slot.start() >= TimePoint::ZERO);
+            assert!(slot.end() <= end);
+        }
+    }
+
+    #[test]
+    fn empty_occupancy_yields_one_slot_per_node() {
+        let cfg = EnvConfig::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let env = Environment::generate(&cfg, &mut rng);
+        let list = extract_vacant_slots(&env, &Occupancy::new());
+        assert_eq!(list.len(), env.node_count());
+        for slot in &list {
+            assert_eq!(slot.length(), env.horizon());
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! The full distributed-environment substrate the paper's study skipped.
+//!
+//! Sec. 5 of the paper: "To perform a series of experiments we found it
+//! more convenient to generate the ordered list of available slots with
+//! pre-assigned set of features instead of generating the whole distributed
+//! system model and obtain available slots from it." This module builds
+//! that whole model — [`Environment`]s of resource [`cluster::Domain`]s,
+//! owner job flows ([`generate_local_flow`]), and vacant-slot extraction
+//! ([`extract_vacant_slots`]) — so the shortcut can be validated: slot
+//! lists derived here feed the exact same scheduling pipeline as the
+//! directly generated ones.
+
+pub mod cluster;
+pub mod extract;
+pub mod local;
+
+pub use cluster::{Domain, DomainId, EnvConfig, Environment};
+pub use extract::extract_vacant_slots;
+pub use local::{generate_local_flow, Occupancy};

@@ -1,0 +1,429 @@
+//! One scheduling iteration: alternatives search → VO limits → combination
+//! optimization.
+//!
+//! This is the paper's two-stage scheme end to end. Jobs whose alternative
+//! set comes back empty are postponed (reported, not optimized); the
+//! remaining jobs are optimized under the configured criterion with the VO
+//! limits derived from Eq. (2)/(3).
+
+use ecosched_core::{Batch, CoreError, JobAlternatives, JobId, Money, SlotList, TimeDelta};
+use ecosched_optimize::{
+    min_cost_under_time, min_time_under_budget, time_quota, vo_budget_with_quota, Assignment,
+    OptimizeError, ParetoFrontier,
+};
+use ecosched_select::{find_alternatives, SearchOutcome, SlotSelector};
+use serde::{Deserialize, Serialize};
+
+/// The VO-level optimization criterion for the iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Criterion {
+    /// `min T(s̄)` subject to `C(s̄) ≤ B*` (the paper's Fig. 4–5 task).
+    #[default]
+    MinTimeUnderBudget,
+    /// `min C(s̄)` subject to `T(s̄) ≤ T*` (the paper's Fig. 6 task).
+    MinCostUnderTime,
+}
+
+/// Which combination solver to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OptimizerKind {
+    /// The paper's backward-run DP (Eq. (1)); money is quantized into
+    /// `resolution_steps` levels of the budget. Falls back to the exact
+    /// Pareto sweep if quantization makes a feasible instance look
+    /// infeasible.
+    BackwardRun {
+        /// Number of quantization levels for the money dimension.
+        resolution_steps: u32,
+    },
+    /// The exact Pareto-frontier sweep (no quantization).
+    ParetoExact,
+}
+
+impl Default for OptimizerKind {
+    fn default() -> Self {
+        OptimizerKind::BackwardRun {
+            resolution_steps: 1500,
+        }
+    }
+}
+
+/// How the alternatives search traverses the batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SearchMode {
+    /// The paper's sequential per-job search, in priority order.
+    #[default]
+    Sequential,
+    /// The batch-at-once extension: windows committed in global
+    /// earliest-start order (Sec. 7 future work, experiment E9).
+    Coscheduled,
+}
+
+/// Configuration of a scheduling iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct IterationConfig {
+    /// The optimization criterion.
+    pub criterion: Criterion,
+    /// The solver.
+    pub optimizer: OptimizerKind,
+    /// The alternatives-search traversal.
+    pub search_mode: SearchMode,
+}
+
+/// The result of one scheduling iteration.
+#[derive(Debug, Clone)]
+pub struct IterationResult {
+    /// The alternatives search outcome (alternatives, stats, leftover list).
+    pub search: SearchOutcome,
+    /// Eq. (2)'s time quota `T*` over the covered jobs (possibly relaxed —
+    /// see [`IterationResult::quota_relaxed`]).
+    pub quota: TimeDelta,
+    /// Whether Eq. (2)'s quota had to be relaxed to the tightest feasible
+    /// total time (its flooring can undercut the minimum — DESIGN.md).
+    pub quota_relaxed: bool,
+    /// Eq. (3)'s VO budget `B*` over the covered jobs (`None` when no job
+    /// was covered).
+    pub budget: Option<Money>,
+    /// The optimized combination over the covered jobs (`None` when no job
+    /// was covered).
+    pub assignment: Option<Assignment>,
+    /// Jobs postponed to the next iteration (no alternatives found).
+    pub postponed: Vec<JobId>,
+}
+
+impl IterationResult {
+    /// Returns `true` if every batch job got at least one alternative — the
+    /// paper's precondition for counting an experiment.
+    #[must_use]
+    pub fn all_covered(&self) -> bool {
+        self.postponed.is_empty()
+    }
+}
+
+/// Errors from the iteration driver.
+#[derive(Debug)]
+pub enum IterationError {
+    /// Slot subtraction failed (only possible with a misbehaving custom
+    /// selector).
+    Core(CoreError),
+    /// The optimizer failed on a covered, feasible-looking instance.
+    Optimize(OptimizeError),
+}
+
+impl std::fmt::Display for IterationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IterationError::Core(e) => write!(f, "slot bookkeeping failed: {e}"),
+            IterationError::Optimize(e) => write!(f, "combination optimization failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IterationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IterationError::Core(e) => Some(e),
+            IterationError::Optimize(e) => Some(e),
+        }
+    }
+}
+
+impl From<CoreError> for IterationError {
+    fn from(e: CoreError) -> Self {
+        IterationError::Core(e)
+    }
+}
+
+impl From<OptimizeError> for IterationError {
+    fn from(e: OptimizeError) -> Self {
+        IterationError::Optimize(e)
+    }
+}
+
+/// Runs one full scheduling iteration of `batch` over `list` with
+/// `selector` (ALP/AMP/baseline) under `config`.
+///
+/// # Errors
+///
+/// Returns [`IterationError`] on slot-bookkeeping failures (impossible with
+/// the built-in selectors) or optimizer failures that survive the fallback.
+pub fn run_iteration(
+    selector: impl SlotSelector,
+    list: &SlotList,
+    batch: &Batch,
+    config: &IterationConfig,
+) -> Result<IterationResult, IterationError> {
+    let search = match config.search_mode {
+        SearchMode::Sequential => find_alternatives(selector, list, batch)?,
+        SearchMode::Coscheduled => {
+            ecosched_select::find_alternatives_coscheduled(selector, list, batch)?
+        }
+    };
+    let postponed: Vec<JobId> = search.postponed().collect();
+    let covered: Vec<JobAlternatives> = search
+        .alternatives
+        .per_job()
+        .iter()
+        .filter(|ja| !ja.is_empty())
+        .cloned()
+        .collect();
+
+    if covered.is_empty() {
+        return Ok(IterationResult {
+            search,
+            quota: TimeDelta::ZERO,
+            quota_relaxed: false,
+            budget: None,
+            assignment: None,
+            postponed,
+        });
+    }
+
+    // Eq. (2), relaxed to the tightest feasible total when flooring
+    // undercuts it.
+    let tightest: TimeDelta = covered
+        .iter()
+        .map(|ja| {
+            ja.iter()
+                .map(|a| a.time())
+                .min()
+                .expect("covered jobs have alternatives")
+        })
+        .sum();
+    let eq2 = time_quota(&covered);
+    let (quota, quota_relaxed) = if eq2 < tightest {
+        (tightest, true)
+    } else {
+        (eq2, false)
+    };
+
+    // Eq. (3).
+    let budget = vo_budget_with_quota(&covered, quota)?;
+
+    let assignment = match config.criterion {
+        Criterion::MinTimeUnderBudget => optimize_min_time(&covered, budget, config.optimizer)?,
+        Criterion::MinCostUnderTime => min_cost_under_time(&covered, quota)?,
+    };
+
+    Ok(IterationResult {
+        search,
+        quota,
+        quota_relaxed,
+        budget: Some(budget),
+        assignment: Some(assignment),
+        postponed,
+    })
+}
+
+fn optimize_min_time(
+    covered: &[JobAlternatives],
+    budget: Money,
+    optimizer: OptimizerKind,
+) -> Result<Assignment, OptimizeError> {
+    match optimizer {
+        OptimizerKind::ParetoExact => ParetoFrontier::new(covered)?.min_time_under_budget(budget),
+        OptimizerKind::BackwardRun { resolution_steps } => {
+            let steps = i64::from(resolution_steps.max(1));
+            let resolution = Money::from_micro((budget.micro() / steps).max(1));
+            match min_time_under_budget(covered, budget, resolution) {
+                Ok(a) => Ok(a),
+                // Quantization can starve a feasible instance; the exact
+                // sweep settles it.
+                Err(OptimizeError::Infeasible) => {
+                    ParetoFrontier::new(covered)?.min_time_under_budget(budget)
+                }
+                Err(e) => Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecosched_core::{Job, NodeId, Perf, Price, ResourceRequest, Slot, SlotId, Span, TimePoint};
+    use ecosched_select::{Alp, Amp};
+
+    fn slot(id: u64, node: u32, perf: f64, price: i64, a: i64, b: i64) -> Slot {
+        Slot::new(
+            SlotId::new(id),
+            NodeId::new(node),
+            Perf::from_f64(perf),
+            Price::from_credits(price),
+            Span::new(TimePoint::new(a), TimePoint::new(b)).unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn job(id: u32, n: usize, t: i64, c: i64) -> Job {
+        Job::new(
+            JobId::new(id),
+            ResourceRequest::new(n, TimeDelta::new(t), Perf::UNIT, Price::from_credits(c)).unwrap(),
+        )
+    }
+
+    fn environment() -> SlotList {
+        SlotList::from_slots(vec![
+            slot(0, 0, 1.0, 2, 0, 600),
+            slot(1, 1, 1.5, 3, 0, 600),
+            slot(2, 2, 2.0, 4, 0, 600),
+            slot(3, 3, 2.5, 6, 0, 600),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn full_iteration_produces_feasible_assignment() {
+        let batch = Batch::from_jobs(vec![job(0, 2, 100, 4), job(1, 1, 80, 5)]).unwrap();
+        let result = run_iteration(
+            Amp::new(),
+            &environment(),
+            &batch,
+            &IterationConfig::default(),
+        )
+        .unwrap();
+        assert!(result.all_covered());
+        let a = result.assignment.unwrap();
+        assert_eq!(a.len(), 2);
+        assert!(a.total_cost() <= result.budget.unwrap());
+    }
+
+    #[test]
+    fn cost_criterion_respects_quota() {
+        let batch = Batch::from_jobs(vec![job(0, 2, 100, 4), job(1, 1, 80, 5)]).unwrap();
+        let config = IterationConfig {
+            criterion: Criterion::MinCostUnderTime,
+            ..IterationConfig::default()
+        };
+        let result = run_iteration(Amp::new(), &environment(), &batch, &config).unwrap();
+        let a = result.assignment.unwrap();
+        assert!(a.total_time() <= result.quota);
+    }
+
+    #[test]
+    fn uncovered_jobs_are_postponed_not_fatal() {
+        // Second job wants 9 nodes — impossible in a 4-node environment.
+        let batch = Batch::from_jobs(vec![job(0, 1, 50, 5), job(1, 9, 50, 5)]).unwrap();
+        let result = run_iteration(
+            Alp::new(),
+            &environment(),
+            &batch,
+            &IterationConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(result.postponed, vec![JobId::new(1)]);
+        assert!(!result.all_covered());
+        // The covered job is still optimized.
+        assert_eq!(result.assignment.unwrap().len(), 1);
+    }
+
+    #[test]
+    fn fully_uncovered_batch_yields_no_assignment() {
+        let batch = Batch::from_jobs(vec![job(0, 9, 50, 5)]).unwrap();
+        let result = run_iteration(
+            Alp::new(),
+            &environment(),
+            &batch,
+            &IterationConfig::default(),
+        )
+        .unwrap();
+        assert!(result.assignment.is_none());
+        assert!(result.budget.is_none());
+        assert_eq!(result.postponed.len(), 1);
+    }
+
+    #[test]
+    fn pareto_and_dp_agree_on_time_criterion() {
+        let batch = Batch::from_jobs(vec![job(0, 2, 100, 4), job(1, 1, 80, 5)]).unwrap();
+        let dp = run_iteration(
+            Amp::new(),
+            &environment(),
+            &batch,
+            &IterationConfig {
+                criterion: Criterion::MinTimeUnderBudget,
+                optimizer: OptimizerKind::BackwardRun {
+                    resolution_steps: 4000,
+                },
+                ..IterationConfig::default()
+            },
+        )
+        .unwrap();
+        let pareto = run_iteration(
+            Amp::new(),
+            &environment(),
+            &batch,
+            &IterationConfig {
+                criterion: Criterion::MinTimeUnderBudget,
+                optimizer: OptimizerKind::ParetoExact,
+                ..IterationConfig::default()
+            },
+        )
+        .unwrap();
+        // With fine enough resolution, both reach the same optimum time.
+        assert_eq!(
+            dp.assignment.unwrap().total_time(),
+            pareto.assignment.unwrap().total_time()
+        );
+    }
+
+    #[test]
+    fn quota_relaxation_engages_when_eq2_undercuts() {
+        // One job, two identical tiny alternatives of time 3 →
+        // T* = ⌊3/2⌋+⌊3/2⌋ = 2 < 3 → relaxed to 3.
+        let list =
+            SlotList::from_slots(vec![slot(0, 0, 1.0, 1, 0, 6), slot(1, 1, 1.0, 1, 0, 6)]).unwrap();
+        let batch = Batch::from_jobs(vec![job(0, 1, 3, 2)]).unwrap();
+        let result = run_iteration(
+            Alp::new(),
+            &list,
+            &batch,
+            &IterationConfig {
+                criterion: Criterion::MinCostUnderTime,
+                ..IterationConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(result.quota_relaxed);
+        assert_eq!(result.quota, TimeDelta::new(3));
+        assert!(result.assignment.is_some());
+    }
+
+    #[test]
+    fn error_display_chains() {
+        let err = IterationError::from(OptimizeError::Infeasible);
+        assert!(format!("{err}").contains("optimization failed"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}
+
+#[cfg(test)]
+mod search_mode_tests {
+    use super::*;
+    use crate::{JobGenConfig, JobGenerator, SlotGenConfig, SlotGenerator};
+    use ecosched_select::Amp;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn coscheduled_mode_runs_end_to_end() {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let list = SlotGenerator::new(SlotGenConfig::default()).generate(&mut rng);
+        let batch = JobGenerator::new(JobGenConfig::default()).generate(&mut rng);
+        let sequential =
+            run_iteration(Amp::new(), &list, &batch, &IterationConfig::default()).unwrap();
+        let coscheduled = run_iteration(
+            Amp::new(),
+            &list,
+            &batch,
+            &IterationConfig {
+                search_mode: SearchMode::Coscheduled,
+                ..IterationConfig::default()
+            },
+        )
+        .unwrap();
+        // Co-scheduling can only widen coverage.
+        assert!(coscheduled.postponed.len() <= sequential.postponed.len());
+        if let Some(a) = &coscheduled.assignment {
+            assert!(a.total_cost() <= coscheduled.budget.unwrap());
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Supply-and-demand pricing — the paper's second future-work item
+//! (Sec. 7: "pricing mechanisms that will take into account
+//! supply-and-demand trends for computational resources").
+//!
+//! Owners adjust each node's price between scheduling cycles: a node whose
+//! vacant time keeps selling out gets more expensive; an idle node gets
+//! cheaper, bounded by a configurable band around the base price.
+
+use std::collections::BTreeMap;
+
+use ecosched_core::{NodeId, Slot, SlotList};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the supply-and-demand price adjustment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PricingConfig {
+    /// Relative price change per unit of utilization error per cycle.
+    pub sensitivity: f64,
+    /// The utilization owners aim for; above it prices rise.
+    pub target_utilization: f64,
+    /// Lower bound on the price multiplier.
+    pub min_multiplier: f64,
+    /// Upper bound on the price multiplier.
+    pub max_multiplier: f64,
+}
+
+impl Default for PricingConfig {
+    fn default() -> Self {
+        PricingConfig {
+            sensitivity: 0.25,
+            target_utilization: 0.5,
+            min_multiplier: 0.25,
+            max_multiplier: 4.0,
+        }
+    }
+}
+
+impl PricingConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive bounds, inverted bounds, a negative
+    /// sensitivity, or a target outside `[0, 1]`.
+    pub fn validate(&self) {
+        assert!(self.sensitivity >= 0.0, "sensitivity must be non-negative");
+        assert!(
+            (0.0..=1.0).contains(&self.target_utilization),
+            "target utilization must be in [0, 1]"
+        );
+        assert!(
+            self.min_multiplier > 0.0 && self.min_multiplier <= self.max_multiplier,
+            "multiplier bounds must be positive and ordered"
+        );
+    }
+}
+
+/// Per-node price multipliers evolved by observed demand.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SupplyDemandPricing {
+    config: PricingConfig,
+    multipliers: BTreeMap<NodeId, f64>,
+}
+
+impl SupplyDemandPricing {
+    /// Creates the pricing state with all multipliers at 1.0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    #[must_use]
+    pub fn new(config: PricingConfig) -> Self {
+        config.validate();
+        SupplyDemandPricing {
+            config,
+            multipliers: BTreeMap::new(),
+        }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &PricingConfig {
+        &self.config
+    }
+
+    /// The current multiplier for `node` (1.0 until first observed).
+    #[must_use]
+    pub fn multiplier(&self, node: NodeId) -> f64 {
+        self.multipliers.get(&node).copied().unwrap_or(1.0)
+    }
+
+    /// Mean multiplier across all observed nodes (1.0 when none observed).
+    #[must_use]
+    pub fn mean_multiplier(&self) -> f64 {
+        if self.multipliers.is_empty() {
+            1.0
+        } else {
+            self.multipliers.values().sum::<f64>() / self.multipliers.len() as f64
+        }
+    }
+
+    /// Feeds one cycle's observed utilization (sold fraction of vacant
+    /// time, in `[0, 1]`) for `node` and updates its multiplier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `utilization` is outside `[0, 1]` (allowing for rounding
+    /// slack up to 1.001).
+    pub fn observe(&mut self, node: NodeId, utilization: f64) {
+        assert!(
+            (0.0..=1.001).contains(&utilization),
+            "utilization {utilization} out of range for {node}"
+        );
+        let current = self.multiplier(node);
+        let error = utilization.min(1.0) - self.config.target_utilization;
+        let next = (current * (1.0 + self.config.sensitivity * error))
+            .clamp(self.config.min_multiplier, self.config.max_multiplier);
+        self.multipliers.insert(node, next);
+    }
+
+    /// Applies the current multipliers to a freshly published slot list,
+    /// returning the repriced list the metascheduler actually sees.
+    #[must_use]
+    pub fn reprice(&self, list: &SlotList) -> SlotList {
+        let slots: Vec<Slot> = list
+            .iter()
+            .map(|s| {
+                let scaled = s.price().scale_f64(self.multiplier(s.node()));
+                Slot::new(s.id(), s.node(), s.perf(), scaled, s.span())
+                    .expect("repricing keeps spans intact")
+            })
+            .collect();
+        SlotList::from_slots(slots).expect("repricing keeps ids and spans intact")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecosched_core::{Perf, Price, SlotId, Span, TimePoint};
+
+    fn node(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn hot_nodes_get_expensive_idle_nodes_cheap() {
+        let mut pricing = SupplyDemandPricing::new(PricingConfig::default());
+        for _ in 0..10 {
+            pricing.observe(node(0), 1.0); // always sold out
+            pricing.observe(node(1), 0.0); // never sold
+        }
+        assert!(pricing.multiplier(node(0)) > 1.5);
+        assert!(pricing.multiplier(node(1)) < 0.7);
+        // Unobserved nodes stay at par.
+        assert_eq!(pricing.multiplier(node(9)), 1.0);
+    }
+
+    #[test]
+    fn multipliers_are_clamped() {
+        let config = PricingConfig {
+            sensitivity: 10.0,
+            ..PricingConfig::default()
+        };
+        let mut pricing = SupplyDemandPricing::new(config);
+        for _ in 0..50 {
+            pricing.observe(node(0), 1.0);
+            pricing.observe(node(1), 0.0);
+        }
+        assert!(pricing.multiplier(node(0)) <= config.max_multiplier + 1e-12);
+        assert!(pricing.multiplier(node(1)) >= config.min_multiplier - 1e-12);
+    }
+
+    #[test]
+    fn target_utilization_is_the_fixed_point() {
+        let mut pricing = SupplyDemandPricing::new(PricingConfig::default());
+        pricing.observe(node(0), 0.5);
+        assert!((pricing.multiplier(node(0)) - 1.0).abs() < 1e-12);
+        assert!((pricing.mean_multiplier() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reprice_scales_only_prices() {
+        let slot = Slot::new(
+            SlotId::new(0),
+            node(0),
+            Perf::UNIT,
+            Price::from_credits(4),
+            Span::new(TimePoint::new(0), TimePoint::new(100)).unwrap(),
+        )
+        .unwrap();
+        let list = SlotList::from_slots(vec![slot]).unwrap();
+        let mut pricing = SupplyDemandPricing::new(PricingConfig::default());
+        for _ in 0..10 {
+            pricing.observe(node(0), 1.0);
+        }
+        let repriced = pricing.reprice(&list);
+        let new_slot = repriced.as_slice()[0];
+        assert!(new_slot.price() > Price::from_credits(4));
+        assert_eq!(new_slot.span(), slot.span());
+        assert_eq!(new_slot.perf(), slot.perf());
+        assert_eq!(new_slot.id(), slot.id());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_utilization_panics() {
+        let mut pricing = SupplyDemandPricing::new(PricingConfig::default());
+        pricing.observe(node(0), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds must be positive")]
+    fn invalid_config_panics() {
+        let _ = SupplyDemandPricing::new(PricingConfig {
+            min_multiplier: 2.0,
+            max_multiplier: 1.0,
+            ..PricingConfig::default()
+        });
+    }
+}

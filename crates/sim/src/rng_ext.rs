@@ -1,0 +1,73 @@
+//! Small sampling helpers over the configured intervals.
+
+use rand::Rng;
+
+use crate::config::{IntRange, RealRange};
+
+/// Draws a uniform integer from the inclusive interval.
+pub(crate) fn draw_int<R: Rng + ?Sized>(rng: &mut R, range: IntRange) -> i64 {
+    rng.gen_range(range.lo..=range.hi)
+}
+
+/// Draws a uniform real from the inclusive interval.
+pub(crate) fn draw_real<R: Rng + ?Sized>(rng: &mut R, range: RealRange) -> f64 {
+    if range.lo == range.hi {
+        range.lo
+    } else {
+        rng.gen_range(range.lo..=range.hi)
+    }
+}
+
+/// Bernoulli draw.
+pub(crate) fn draw_bool<R: Rng + ?Sized>(rng: &mut R, probability: f64) -> bool {
+    rng.gen_bool(probability)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn draws_stay_in_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let i = draw_int(&mut rng, IntRange::new(3, 9));
+            assert!((3..=9).contains(&i));
+            let r = draw_real(&mut rng, RealRange::new(0.5, 1.5));
+            assert!((0.5..=1.5).contains(&r));
+        }
+    }
+
+    #[test]
+    fn degenerate_intervals_are_constant() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        assert_eq!(draw_int(&mut rng, IntRange::new(4, 4)), 4);
+        assert_eq!(draw_real(&mut rng, RealRange::new(2.0, 2.0)), 2.0);
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        assert!(!draw_bool(&mut rng, 0.0));
+        assert!(draw_bool(&mut rng, 1.0));
+    }
+
+    #[test]
+    fn seeded_draws_are_reproducible() {
+        let a: Vec<i64> = {
+            let mut rng = ChaCha8Rng::seed_from_u64(42);
+            (0..10)
+                .map(|_| draw_int(&mut rng, IntRange::new(0, 100)))
+                .collect()
+        };
+        let b: Vec<i64> = {
+            let mut rng = ChaCha8Rng::seed_from_u64(42);
+            (0..10)
+                .map(|_| draw_int(&mut rng, IntRange::new(0, 100)))
+                .collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,53 @@
+//! The paper's Sec. 4 worked example (Fig. 2–3): three jobs co-allocated
+//! on six nodes, showing why AMP's job-budget rule reaches windows the
+//! per-slot-capped ALP cannot.
+//!
+//! Run with: `cargo run --example paper_example`
+
+use ecosched::core::NodeId;
+use ecosched::experiments::paper_example;
+
+fn main() {
+    let run = paper_example::run().expect("the worked example always builds");
+
+    println!("=== Fig. 2 (a): initial state (reconstruction) ===");
+    println!("{}", run.example.list);
+    println!("{}", run.example.batch);
+
+    println!("=== first alternatives (the paper's W1, W2, W3) ===");
+    for (label, ja) in ["W1", "W2", "W3"]
+        .iter()
+        .zip(run.amp.alternatives.per_job())
+    {
+        let w = ja.alternatives()[0].window();
+        println!("{label}: {w}");
+    }
+
+    println!("\n=== Fig. 3: every alternative found ===");
+    for (name, outcome) in [("ALP", &run.alp), ("AMP", &run.amp)] {
+        println!(
+            "{name}: {} alternatives ({:.2} per job)",
+            outcome.alternatives.total_found(),
+            outcome.alternatives.avg_per_job()
+        );
+        for ja in outcome.alternatives.per_job() {
+            for alt in ja {
+                println!("  {} ← {}", ja.job(), alt.window());
+            }
+        }
+    }
+
+    let amp_cpu6 = run
+        .amp
+        .alternatives
+        .per_job()
+        .iter()
+        .flat_map(|ja| ja.iter())
+        .filter(|a| a.window().uses_node(NodeId::new(6)))
+        .count();
+    println!(
+        "\nAMP placed {amp_cpu6} window(s) on the expensive cpu6 line; \
+         ALP's per-slot cap (10 for Job 2) locks cpu6 (12/t) out entirely — \
+         exactly the Sec. 4 observation."
+    );
+}

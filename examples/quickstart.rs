@@ -1,0 +1,70 @@
+//! Quickstart: publish a handful of vacant slots, ask for a co-allocation
+//! window with both ALP and AMP, commit the better one, and watch the
+//! slot list shrink.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use ecosched::prelude::*;
+
+fn main() -> Result<(), CoreError> {
+    // Five heterogeneous nodes publish one vacant slot each. Prices grow
+    // with performance (the paper's price/quality coupling).
+    let specs = [
+        // (node, performance, price/tick, vacant from, vacant to)
+        (0, 1.0, 2, 0, 500),
+        (1, 1.2, 2, 30, 400),
+        (2, 1.5, 3, 60, 520),
+        (3, 2.0, 5, 60, 450),
+        (4, 3.0, 9, 100, 600),
+    ];
+    let slots = specs
+        .iter()
+        .enumerate()
+        .map(|(i, &(node, perf, price, from, to))| {
+            Slot::new(
+                SlotId::new(i as u64),
+                NodeId::new(node),
+                Perf::from_f64(perf),
+                Price::from_credits(price),
+                Span::new(TimePoint::new(from), TimePoint::new(to)).expect("valid span"),
+            )
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut list = SlotList::from_slots(slots)?;
+    println!("published vacancies:\n{list}");
+
+    // A parallel job: 3 concurrent tasks, 120 etalon ticks of work each,
+    // nodes of rate ≥ 1.0, at most 4 credits per slot per tick.
+    let request = ResourceRequest::new(
+        3,
+        TimeDelta::new(120),
+        Perf::from_f64(1.0),
+        Price::from_credits(4),
+    )?;
+    println!("request: {request}");
+    println!("AMP budget S = C·t·N = {}\n", request.budget());
+
+    let mut stats = ScanStats::new();
+    match Alp::new().find_window(&list, &request, &mut stats) {
+        Some(w) => println!("ALP window: {w}"),
+        None => println!("ALP found no window (every node priced ≤ 4 is needed at once)"),
+    }
+
+    let window = Amp::new()
+        .find_window(&list, &request, &mut stats)
+        .expect("AMP finds a window within the budget");
+    println!("AMP window: {window}");
+    println!(
+        "  starts at {}, ends at {}, costs {} (≤ budget {})",
+        window.start(),
+        window.end(),
+        window.total_cost(),
+        request.budget()
+    );
+
+    // Commit it: the used intervals disappear from the vacancy list.
+    list.subtract_window(&window)?;
+    println!("\nvacancies after committing the window:\n{list}");
+    println!("scan work: {} slots examined", stats.slots_examined);
+    Ok(())
+}

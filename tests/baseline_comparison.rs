@@ -1,0 +1,102 @@
+//! Integration of the baselines with the economic algorithms: agreement
+//! where theory predicts it, divergence where the economics bite.
+
+use ecosched::baseline::{conservative_backfill, easy_backfill, fcfs, BackfillWindow, QueuedJob};
+use ecosched::prelude::*;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn backfill_and_alp_agree_without_economics() {
+    // On homogeneous, uniformly priced lists with a permissive cap the
+    // backfill window search and ALP pick windows with the same start
+    // (both take the earliest N-concurrency point).
+    for seed in 0..20 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let config = SlotGenConfig {
+            node_perf: ecosched::sim::RealRange::new(1.0, 1.0),
+            price_jitter: ecosched::sim::RealRange::new(1.0, 1.0),
+            ..SlotGenConfig::default()
+        };
+        let list = SlotGenerator::new(config).generate(&mut rng);
+        let request = ResourceRequest::new(
+            3,
+            TimeDelta::new(80),
+            Perf::UNIT,
+            Price::from_credits(1_000),
+        )
+        .unwrap();
+        let mut s1 = ScanStats::new();
+        let mut s2 = ScanStats::new();
+        let alp = Alp::new().find_window(&list, &request, &mut s1);
+        let bf = BackfillWindow::new().find_window(&list, &request, &mut s2);
+        match (alp, bf) {
+            (Some(a), Some(b)) => assert_eq!(a.start(), b.start(), "seed {seed}"),
+            (None, None) => {}
+            other => panic!("seed {seed}: availability disagrees: {other:?}"),
+        }
+        // …and ALP never does more than one pass of work.
+        assert!(s1.slots_examined <= list.len() as u64);
+    }
+}
+
+#[test]
+fn backfill_ignores_prices_alp_respects_them() {
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+    let list = SlotGenerator::new(SlotGenConfig::default()).generate(&mut rng);
+    // A cap below every generated price (minimum price is 0.75·1.7 ≈ 1.27).
+    let request =
+        ResourceRequest::new(2, TimeDelta::new(60), Perf::UNIT, Price::from_f64(1.0)).unwrap();
+    let mut stats = ScanStats::new();
+    assert!(Alp::new()
+        .find_window(&list, &request, &mut stats)
+        .is_none());
+    assert!(BackfillWindow::new()
+        .find_window(&list, &request, &mut stats)
+        .is_some());
+}
+
+#[test]
+fn queue_schedulers_keep_their_guarantees_on_random_queues() {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    for _ in 0..25 {
+        let nodes = rng.gen_range(2..=8usize);
+        let jobs: Vec<QueuedJob> = (0..rng.gen_range(3..=20u32))
+            .map(|i| {
+                QueuedJob::new(
+                    JobId::new(i),
+                    rng.gen_range(1..=nodes),
+                    TimeDelta::new(rng.gen_range(5..=80)),
+                )
+            })
+            .collect();
+        let f = fcfs(&jobs, nodes);
+        let c = conservative_backfill(&jobs, nodes);
+        let e = easy_backfill(&jobs, nodes);
+        // All jobs placed exactly once.
+        for schedule in [&f, &c, &e] {
+            assert_eq!(schedule.placements().len(), jobs.len());
+        }
+        // Backfilling never worsens any job's start vs FCFS under
+        // conservative semantics…
+        for job in &jobs {
+            let fcfs_start = f.get(job.id).unwrap().start;
+            let cons_start = c.get(job.id).unwrap().start;
+            assert!(
+                cons_start <= fcfs_start,
+                "conservative delayed {} ({} > {})",
+                job.id,
+                cons_start,
+                fcfs_start
+            );
+        }
+        // …and both backfills beat or match FCFS's makespan.
+        assert!(c.makespan() <= f.makespan());
+        assert!(e.makespan() <= f.makespan());
+        // EASY never delays the queue head past its FCFS start.
+        if let Some(head) = jobs.first() {
+            assert!(e.get(head.id).unwrap().start <= f.get(head.id).unwrap().start);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Failure injection: the pipeline must degrade with typed errors — never
+//! panics, never partial state — when a component misbehaves.
+
+use ecosched::prelude::*;
+use ecosched::sim::IterationError;
+
+/// A selector that fabricates windows referencing slots that do not exist.
+#[derive(Debug)]
+struct PhantomSlotSelector;
+
+impl SlotSelector for PhantomSlotSelector {
+    fn name(&self) -> &'static str {
+        "phantom"
+    }
+
+    fn find_window(
+        &self,
+        _list: &SlotList,
+        request: &ResourceRequest,
+        _stats: &mut ScanStats,
+    ) -> Option<Window> {
+        let ghost = Slot::new(
+            SlotId::new(u64::MAX),
+            NodeId::new(u32::MAX),
+            Perf::UNIT,
+            Price::from_credits(1),
+            Span::new(TimePoint::new(0), TimePoint::new(10_000)).unwrap(),
+        )
+        .unwrap();
+        let ws = WindowSlot::from_slot(&ghost, request.runtime_on(Perf::UNIT)).unwrap();
+        Some(Window::new(TimePoint::new(0), vec![ws]).unwrap())
+    }
+}
+
+/// A selector that cites a real slot but cuts outside its vacant span.
+#[derive(Debug)]
+struct OverhangSelector;
+
+impl SlotSelector for OverhangSelector {
+    fn name(&self) -> &'static str {
+        "overhang"
+    }
+
+    fn find_window(
+        &self,
+        list: &SlotList,
+        _request: &ResourceRequest,
+        _stats: &mut ScanStats,
+    ) -> Option<Window> {
+        let victim = list.as_slice().first()?;
+        // Claim the slot for twice its actual length.
+        let runtime = victim.length() * 2;
+        let ws = WindowSlot::from_slot(victim, runtime).unwrap();
+        Some(Window::new(victim.start(), vec![ws]).unwrap())
+    }
+}
+
+fn environment() -> (SlotList, Batch) {
+    let slots = (0..3)
+        .map(|i| {
+            Slot::new(
+                SlotId::new(i),
+                NodeId::new(i as u32),
+                Perf::UNIT,
+                Price::from_credits(2),
+                Span::new(TimePoint::new(0), TimePoint::new(200)).unwrap(),
+            )
+            .unwrap()
+        })
+        .collect();
+    let list = SlotList::from_slots(slots).unwrap();
+    let job = Job::new(
+        JobId::new(0),
+        ResourceRequest::new(1, TimeDelta::new(50), Perf::UNIT, Price::from_credits(5)).unwrap(),
+    );
+    (list, Batch::from_jobs(vec![job]).unwrap())
+}
+
+#[test]
+fn phantom_slots_yield_a_typed_error() {
+    let (list, batch) = environment();
+    let err = find_alternatives(&PhantomSlotSelector, &list, &batch).unwrap_err();
+    assert!(matches!(err, CoreError::SlotNotFound { .. }), "{err}");
+}
+
+#[test]
+fn overhanging_cuts_yield_a_typed_error() {
+    let (list, batch) = environment();
+    let err = find_alternatives(&OverhangSelector, &list, &batch).unwrap_err();
+    assert!(matches!(err, CoreError::CutOutsideSlot { .. }), "{err}");
+}
+
+#[test]
+fn iteration_wraps_selector_failures() {
+    let (list, batch) = environment();
+    let err = run_iteration(
+        &PhantomSlotSelector,
+        &list,
+        &batch,
+        &IterationConfig::default(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, IterationError::Core(_)));
+    // The error chains to its source and formats meaningfully.
+    assert!(std::error::Error::source(&err).is_some());
+    assert!(format!("{err}").contains("slot bookkeeping failed"));
+}
+
+#[test]
+fn coscheduled_search_rejects_misbehaving_selectors_too() {
+    let (list, batch) = environment();
+    let err = find_alternatives_coscheduled(&OverhangSelector, &list, &batch).unwrap_err();
+    assert!(matches!(err, CoreError::CutOutsideSlot { .. }));
+}
+
+#[test]
+fn original_list_is_never_mutated_by_failures() {
+    let (list, batch) = environment();
+    let before = list.clone();
+    let _ = find_alternatives(&OverhangSelector, &list, &batch);
+    let _ = find_alternatives(&PhantomSlotSelector, &list, &batch);
+    assert_eq!(list, before);
+}

@@ -1,0 +1,178 @@
+//! Cross-crate integration: the full two-stage pipeline on seeded inputs.
+
+use ecosched::prelude::*;
+use ecosched::sim::OptimizerKind;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn generate(seed: u64) -> (SlotList, Batch) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let list = SlotGenerator::new(SlotGenConfig::default()).generate(&mut rng);
+    let batch = JobGenerator::new(JobGenConfig::default()).generate(&mut rng);
+    (list, batch)
+}
+
+#[test]
+fn assignments_respect_the_vo_limits_across_seeds() {
+    for seed in 0..30 {
+        let (list, batch) = generate(seed);
+        for criterion in [Criterion::MinTimeUnderBudget, Criterion::MinCostUnderTime] {
+            let config = IterationConfig {
+                criterion,
+                ..IterationConfig::default()
+            };
+            let result = run_iteration(Amp::new(), &list, &batch, &config)
+                .expect("iteration never fails on generated inputs");
+            let Some(assignment) = &result.assignment else {
+                continue;
+            };
+            let budget = result.budget.expect("assignment implies budget");
+            match criterion {
+                Criterion::MinTimeUnderBudget => {
+                    assert!(
+                        assignment.total_cost() <= budget,
+                        "seed {seed}: cost {} over B* {budget}",
+                        assignment.total_cost()
+                    );
+                }
+                Criterion::MinCostUnderTime => {
+                    assert!(
+                        assignment.total_time() <= result.quota,
+                        "seed {seed}: time {} over T* {}",
+                        assignment.total_time(),
+                        result.quota
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn chosen_windows_fit_each_jobs_own_budget() {
+    for seed in 0..20 {
+        let (list, batch) = generate(seed);
+        for selector in [&Alp::new() as &dyn SlotSelector, &Amp::new()] {
+            let outcome = find_alternatives(selector, &list, &batch).unwrap();
+            for (job, ja) in batch.iter().zip(outcome.alternatives.per_job()) {
+                for alt in ja {
+                    assert_eq!(alt.window().slot_count(), job.request().nodes());
+                    assert!(alt.cost() <= job.request().budget());
+                    for ws in alt.window().slots() {
+                        assert!(ws.perf().satisfies(job.request().min_perf()));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn time_min_never_beats_cost_min_on_cost_and_vice_versa() {
+    // The two criteria optimize different measures over the same
+    // alternatives, so each must win (or tie) its own measure whenever the
+    // time-min run also fits inside T* (their feasible sets differ:
+    // time-min is budget-capped, cost-min quota-capped).
+    for seed in 0..30 {
+        let (list, batch) = generate(seed);
+        // Exact solver: this test checks true optimality relations, which
+        // the quantized DP is (documented to be) allowed to miss.
+        let time_cfg = IterationConfig {
+            criterion: Criterion::MinTimeUnderBudget,
+            optimizer: OptimizerKind::ParetoExact,
+            ..IterationConfig::default()
+        };
+        let cost_cfg = IterationConfig {
+            criterion: Criterion::MinCostUnderTime,
+            optimizer: OptimizerKind::ParetoExact,
+            ..IterationConfig::default()
+        };
+        let t = run_iteration(Amp::new(), &list, &batch, &time_cfg).unwrap();
+        let c = run_iteration(Amp::new(), &list, &batch, &cost_cfg).unwrap();
+        if let (Some(ta), Some(ca)) = (&t.assignment, &c.assignment) {
+            // Same search → same alternatives → cost-min's cost is the
+            // floor among quota-feasible combos.
+            if ta.total_time() <= c.quota {
+                assert!(ca.total_cost() <= ta.total_cost(), "seed {seed}");
+            }
+            // And if the cost-min combo also fits the budget, time-min's
+            // time is the floor.
+            if ca.total_cost() <= t.budget.unwrap() {
+                assert!(ta.total_time() <= ca.total_time(), "seed {seed}");
+            }
+        }
+    }
+}
+
+#[test]
+fn pareto_and_dp_optimizers_agree_end_to_end() {
+    for seed in 0..12 {
+        let (list, batch) = generate(seed);
+        let dp = run_iteration(
+            Amp::new(),
+            &list,
+            &batch,
+            &IterationConfig {
+                criterion: Criterion::MinCostUnderTime,
+                optimizer: OptimizerKind::BackwardRun {
+                    resolution_steps: 1500,
+                },
+                ..IterationConfig::default()
+            },
+        )
+        .unwrap();
+        let pareto = run_iteration(
+            Amp::new(),
+            &list,
+            &batch,
+            &IterationConfig {
+                criterion: Criterion::MinCostUnderTime,
+                optimizer: OptimizerKind::ParetoExact,
+                ..IterationConfig::default()
+            },
+        )
+        .unwrap();
+        // Cost-min is exact in both solvers (time is integral).
+        match (&dp.assignment, &pareto.assignment) {
+            (Some(a), Some(b)) => assert_eq!(a.total_cost(), b.total_cost(), "seed {seed}"),
+            (None, None) => {}
+            other => panic!("seed {seed}: solvers disagree on feasibility: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn full_pipeline_is_deterministic() {
+    let (list, batch) = generate(99);
+    let config = IterationConfig::default();
+    let a = run_iteration(Amp::new(), &list, &batch, &config).unwrap();
+    let b = run_iteration(Amp::new(), &list, &batch, &config).unwrap();
+    assert_eq!(a.assignment, b.assignment);
+    assert_eq!(a.quota, b.quota);
+    assert_eq!(a.budget, b.budget);
+    assert_eq!(
+        a.search.alternatives.total_found(),
+        b.search.alternatives.total_found()
+    );
+}
+
+#[test]
+fn remaining_list_is_consistent_after_search() {
+    for seed in 0..10 {
+        let (list, batch) = generate(seed);
+        let outcome = find_alternatives(Amp::new(), &list, &batch).unwrap();
+        outcome.remaining.validate().unwrap();
+        let used: TimeDelta = outcome
+            .alternatives
+            .per_job()
+            .iter()
+            .flat_map(|ja| ja.iter())
+            .flat_map(|alt| alt.window().slots().iter().map(|ws| ws.runtime()))
+            .sum();
+        assert_eq!(
+            outcome.remaining.total_vacant_time() + used,
+            list.total_vacant_time(),
+            "seed {seed}: vacancy not conserved"
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Scaled-down reproduction smoke tests: the paper's qualitative results
+//! must already show at a few hundred iterations. The full-scale numbers
+//! live in EXPERIMENTS.md and regenerate via the `exp_*` binaries.
+
+use ecosched::experiments::{run_paired, ExperimentConfig};
+use ecosched::sim::Criterion;
+
+fn run(criterion: Criterion, iterations: u64) -> ecosched::experiments::PairedOutcome {
+    run_paired(
+        &ExperimentConfig {
+            iterations,
+            criterion,
+            ..ExperimentConfig::default()
+        },
+        50,
+    )
+}
+
+#[test]
+fn fig4_shape_time_minimization() {
+    let o = run(Criterion::MinTimeUnderBudget, 400);
+    assert!(o.counted_iterations >= 20, "too few counted iterations");
+    let time_ratio = o.amp.job_time.mean() / o.alp.job_time.mean();
+    let cost_ratio = o.amp.job_cost.mean() / o.alp.job_cost.mean();
+    // Paper: AMP is ~35 % faster (ratio 0.65) and ~18 % costlier (1.18).
+    assert!(
+        (0.5..0.85).contains(&time_ratio),
+        "time ratio {time_ratio} out of the paper's band"
+    );
+    assert!(
+        (1.02..1.6).contains(&cost_ratio),
+        "cost ratio {cost_ratio} out of the paper's band"
+    );
+}
+
+#[test]
+fn fig6_shape_cost_minimization() {
+    let o = run(Criterion::MinCostUnderTime, 400);
+    assert!(o.counted_iterations >= 20);
+    // Paper: ALP's cost advantage is small (~9 %), AMP still ~15 % faster.
+    let cost_ratio = o.amp.job_cost.mean() / o.alp.job_cost.mean();
+    let time_ratio = o.amp.job_time.mean() / o.alp.job_time.mean();
+    assert!(
+        (1.0..1.4).contains(&cost_ratio),
+        "cost ratio {cost_ratio} out of band"
+    );
+    assert!(
+        time_ratio < 0.95,
+        "AMP must still be faster under cost minimization, got {time_ratio}"
+    );
+    // The cost gap shrinks relative to the time-minimization experiment.
+    let time_min = run(Criterion::MinTimeUnderBudget, 400);
+    let fig4_cost_ratio = time_min.amp.job_cost.mean() / time_min.alp.job_cost.mean();
+    assert!(
+        cost_ratio < fig4_cost_ratio,
+        "cost minimization must narrow AMP's cost premium ({cost_ratio} vs {fig4_cost_ratio})"
+    );
+}
+
+#[test]
+fn alternatives_gap_matches_the_prose() {
+    let o = run(Criterion::MinTimeUnderBudget, 400);
+    let alp = o.alp.alternatives_per_job();
+    let amp = o.amp.alternatives_per_job();
+    // Paper: 7.39 vs 34.28 — "several times more".
+    assert!(
+        amp > 2.5 * alp,
+        "AMP/ALP alternatives ratio only {}",
+        amp / alp
+    );
+    assert!(
+        (4.0..16.0).contains(&alp),
+        "ALP per-job count {alp} out of band"
+    );
+    assert!(
+        (20.0..60.0).contains(&amp),
+        "AMP per-job count {amp} out of band"
+    );
+}
+
+#[test]
+fn environment_statistics_match_the_prose() {
+    let o = run(Criterion::MinTimeUnderBudget, 300);
+    // Paper: 135.11 slots, 4.18 jobs per counted iteration.
+    let slots = o.slots.mean();
+    let jobs = o.jobs.mean();
+    assert!((120.0..150.0).contains(&slots), "avg slots {slots}");
+    assert!((3.0..7.0).contains(&jobs), "avg jobs {jobs}");
+    // Counted iterations have *fewer* jobs than the unconditional mean of
+    // 5 — the paper notes exactly this selection effect.
+    assert!(jobs < 5.0, "selection effect missing: {jobs}");
+}
