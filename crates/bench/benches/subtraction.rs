@@ -9,7 +9,9 @@ use std::hint::black_box;
 
 fn bench_subtract_window(c: &mut Criterion) {
     let mut group = c.benchmark_group("subtract_window");
-    for m in [135usize, 1_000, 4_000] {
+    // 64,000 stresses the indexed path: validation and splice stay
+    // O(k log m) while a naive rescan of the list would be linear.
+    for m in [135usize, 1_000, 4_000, 64_000] {
         let list = slot_list(m, 11);
         let request = typical_request();
         let mut stats = ScanStats::new();

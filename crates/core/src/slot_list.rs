@@ -6,6 +6,11 @@
 //! *subtracted* from the list (Fig. 1 (b)): each source slot `K` is removed
 //! and replaced by the remnants `K1 = [K.start, K'.start)` and
 //! `K2 = [K'.end, K.end)`, dropping zero-length pieces.
+//!
+//! The list carries an id index (`SlotId → start time`) so lookups and
+//! subtractions locate their slot with a hash probe plus a binary search on
+//! `(start, id)` instead of a linear scan — `O(log m)` per operation, which
+//! the incremental alternatives search in `ecosched-select` relies on.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -31,20 +36,33 @@ use crate::window::Window;
 /// assert_eq!(list.len(), 1);
 /// # Ok::<(), ecosched_core::CoreError>(())
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct SlotList {
     slots: Vec<Slot>,
     next_id: u64,
+    /// Start time of each live slot, keyed by id: turns `get`/`subtract`
+    /// into a hash probe + binary search on the ordered vector.
+    index: HashMap<SlotId, TimePoint>,
+}
+
+/// What one [`SlotList::subtract_window_report`] call did to the list:
+/// which slots were consumed and which remnants replaced them.
+///
+/// The incremental alternatives search uses this to update per-job scan
+/// state without re-reading the whole list.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SubtractionReport {
+    /// Ids removed from the list (the window's source slots).
+    pub removed: Vec<SlotId>,
+    /// Freshly minted remnant slots inserted in their place.
+    pub remnants: Vec<Slot>,
 }
 
 impl SlotList {
     /// Creates an empty slot list.
     #[must_use]
     pub fn new() -> Self {
-        SlotList {
-            slots: Vec::new(),
-            next_id: 0,
-        }
+        SlotList::default()
     }
 
     /// Builds a list from arbitrary slots, sorting them by start time.
@@ -57,9 +75,15 @@ impl SlotList {
     pub fn from_slots(slots: Vec<Slot>) -> Result<Self, CoreError> {
         let mut list = SlotList {
             next_id: slots.iter().map(|s| s.id().raw() + 1).max().unwrap_or(0),
+            index: HashMap::with_capacity(slots.len()),
             slots,
         };
         list.slots.sort_by_key(|s| (s.start(), s.id()));
+        for slot in &list.slots {
+            if list.index.insert(slot.id(), slot.start()).is_some() {
+                return Err(CoreError::DuplicateSlotId { id: slot.id() });
+            }
+        }
         list.validate()?;
         Ok(list)
     }
@@ -78,7 +102,7 @@ impl SlotList {
     /// Returns [`CoreError::DuplicateSlotId`] if the id is already present.
     /// Overlap against existing same-node slots is checked in debug builds.
     pub fn insert(&mut self, slot: Slot) -> Result<(), CoreError> {
-        if self.slots.iter().any(|s| s.id() == slot.id()) {
+        if self.index.contains_key(&slot.id()) {
             return Err(CoreError::DuplicateSlotId { id: slot.id() });
         }
         debug_assert!(
@@ -91,6 +115,7 @@ impl SlotList {
         let pos = self
             .slots
             .partition_point(|s| (s.start(), s.id()) < (slot.start(), slot.id()));
+        self.index.insert(slot.id(), slot.start());
         self.slots.insert(pos, slot);
         Ok(())
     }
@@ -118,11 +143,65 @@ impl SlotList {
         &self.slots
     }
 
-    /// Looks up a slot by id (linear scan; the lists here are small and the
-    /// scheduling algorithms never need random access on a hot path).
+    /// Position of slot `id` in the ordered vector: a hash probe for its
+    /// start time, then a binary search on `(start, id)`.
+    fn position(&self, id: SlotId) -> Option<usize> {
+        let start = *self.index.get(&id)?;
+        let pos = self
+            .slots
+            .partition_point(|s| (s.start(), s.id()) < (start, id));
+        debug_assert!(
+            self.slots.get(pos).is_some_and(|s| s.id() == id),
+            "index start time out of sync with the ordered vector"
+        );
+        Some(pos)
+    }
+
+    /// Looks up a slot by id in `O(log m)` via the id index.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ecosched_core::{NodeId, Perf, Price, Slot, SlotId, SlotList, Span, TimePoint};
+    ///
+    /// let span = Span::new(TimePoint::new(0), TimePoint::new(100)).unwrap();
+    /// let slot = Slot::new(SlotId::new(7), NodeId::new(0), Perf::UNIT,
+    ///                      Price::from_credits(2), span).unwrap();
+    /// let list = SlotList::from_slots(vec![slot]).unwrap();
+    /// assert_eq!(list.get(SlotId::new(7)).unwrap().start(), TimePoint::new(0));
+    /// assert!(list.get(SlotId::new(8)).is_none());
+    /// ```
     #[must_use]
     pub fn get(&self, id: SlotId) -> Option<&Slot> {
-        self.slots.iter().find(|s| s.id() == id)
+        self.position(id).map(|pos| &self.slots[pos])
+    }
+
+    /// Returns `true` if slot `id` is currently in the list (`O(1)`).
+    #[must_use]
+    pub fn contains(&self, id: SlotId) -> bool {
+        self.index.contains_key(&id)
+    }
+
+    /// Index of the first slot with `start >= from` in the ordered vector
+    /// (`O(log m)`). Everything before it starts earlier than `from`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ecosched_core::{NodeId, Perf, Price, Slot, SlotId, SlotList, Span, TimePoint};
+    ///
+    /// let mk = |id: u64, a: i64, b: i64| Slot::new(
+    ///     SlotId::new(id), NodeId::new(id as u32), Perf::UNIT,
+    ///     Price::from_credits(2),
+    ///     Span::new(TimePoint::new(a), TimePoint::new(b)).unwrap(),
+    /// ).unwrap();
+    /// let list = SlotList::from_slots(vec![mk(0, 0, 50), mk(1, 20, 60)]).unwrap();
+    /// assert_eq!(list.first_at_or_after(TimePoint::new(10)), 1);
+    /// assert_eq!(list.first_at_or_after(TimePoint::new(100)), 2);
+    /// ```
+    #[must_use]
+    pub fn first_at_or_after(&self, from: TimePoint) -> usize {
+        self.slots.partition_point(|s| s.start() < from)
     }
 
     /// The earliest vacant start across the list, if any.
@@ -138,7 +217,7 @@ impl SlotList {
     }
 
     /// Removes the interval `cut` from the slot `id`, inserting remnants in
-    /// order (Fig. 1 (b)).
+    /// order (Fig. 1 (b)). Locating the slot is `O(log m)` via the index.
     ///
     /// # Errors
     ///
@@ -146,11 +225,17 @@ impl SlotList {
     /// * [`CoreError::CutOutsideSlot`] if `cut` is not fully contained in
     ///   the slot's vacant span.
     pub fn subtract(&mut self, id: SlotId, cut: Span) -> Result<(), CoreError> {
-        let pos = self
-            .slots
-            .iter()
-            .position(|s| s.id() == id)
-            .ok_or(CoreError::SlotNotFound { id })?;
+        self.subtract_collect(id, cut, &mut Vec::new())
+    }
+
+    /// [`SlotList::subtract`], appending minted remnants to `remnants`.
+    fn subtract_collect(
+        &mut self,
+        id: SlotId,
+        cut: Span,
+        remnants: &mut Vec<Slot>,
+    ) -> Result<(), CoreError> {
+        let pos = self.position(id).ok_or(CoreError::SlotNotFound { id })?;
         let slot = self.slots[pos];
         if !slot.span().contains_span(cut) {
             return Err(CoreError::CutOutsideSlot {
@@ -160,6 +245,7 @@ impl SlotList {
             });
         }
         self.slots.remove(pos);
+        self.index.remove(&id);
         let (left, right) = slot.span().subtract(cut);
         for remnant in [left, right].into_iter().flatten() {
             let rid = self.mint_id();
@@ -168,6 +254,7 @@ impl SlotList {
                 .expect("non-empty remnant spans construct valid slots");
             self.insert(new_slot)
                 .expect("freshly minted ids cannot collide");
+            remnants.push(new_slot);
         }
         Ok(())
     }
@@ -181,7 +268,26 @@ impl SlotList {
     /// Propagates [`CoreError::SlotNotFound`] / [`CoreError::CutOutsideSlot`]
     /// from [`SlotList::subtract`].
     pub fn subtract_window(&mut self, window: &Window) -> Result<(), CoreError> {
-        // Validate first so a failure cannot leave a partial subtraction.
+        self.subtract_window_report(window).map(drop)
+    }
+
+    /// [`SlotList::subtract_window`], additionally reporting the consumed
+    /// ids and the minted remnants.
+    ///
+    /// Validation and mutation share one indexed pass over the window's
+    /// cuts: each cut is checked with an `O(log m)` lookup, and only when
+    /// all pass does the mutation run, so a failure cannot leave a partial
+    /// subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::SlotNotFound`] / [`CoreError::CutOutsideSlot`]
+    /// from [`SlotList::subtract`].
+    pub fn subtract_window_report(
+        &mut self,
+        window: &Window,
+    ) -> Result<SubtractionReport, CoreError> {
+        // Indexed validation: O(k log m) total, no list mutation yet.
         for (id, cut) in window.cuts() {
             let slot = self.get(id).ok_or(CoreError::SlotNotFound { id })?;
             if !slot.span().contains_span(cut) {
@@ -192,15 +298,18 @@ impl SlotList {
                 });
             }
         }
+        let mut report = SubtractionReport::default();
         for (id, cut) in window.cuts() {
-            self.subtract(id, cut)
+            self.subtract_collect(id, cut, &mut report.remnants)
                 .expect("cuts validated before mutation");
+            report.removed.push(id);
         }
-        Ok(())
+        Ok(report)
     }
 
-    /// Checks every structural invariant of the list. Cheap enough for
-    /// tests; not called on hot paths.
+    /// Checks every structural invariant of the list, including that the id
+    /// index matches the ordered vector. Cheap enough for tests; not called
+    /// on hot paths.
     ///
     /// # Errors
     ///
@@ -209,6 +318,16 @@ impl SlotList {
         for pair in self.slots.windows(2) {
             if (pair[0].start(), pair[0].id()) >= (pair[1].start(), pair[1].id()) {
                 return Err(CoreError::DuplicateSlotId { id: pair[1].id() });
+            }
+        }
+        if self.index.len() != self.slots.len() {
+            return Err(CoreError::DuplicateSlotId {
+                id: SlotId::new(self.next_id),
+            });
+        }
+        for slot in &self.slots {
+            if self.index.get(&slot.id()) != Some(&slot.start()) {
+                return Err(CoreError::SlotNotFound { id: slot.id() });
             }
         }
         let mut per_node: HashMap<_, Vec<&Slot>> = HashMap::new();
@@ -229,6 +348,48 @@ impl SlotList {
             }
         }
         Ok(())
+    }
+}
+
+impl PartialEq for SlotList {
+    fn eq(&self, other: &Self) -> bool {
+        // The index is a function of `slots`; comparing it would be
+        // redundant work.
+        self.slots == other.slots && self.next_id == other.next_id
+    }
+}
+
+impl Eq for SlotList {}
+
+// Manual serde keeps the wire format of the pre-index list (`slots` +
+// `next_id`); the index is rebuilt on deserialization.
+impl Serialize for SlotList {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("slots".to_string(), self.slots.to_value()),
+            ("next_id".to_string(), self.next_id.to_value()),
+        ])
+    }
+}
+
+impl<'de> Deserialize<'de> for SlotList {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let slots = Vec::<Slot>::from_value(serde::get_field(value, "slots")?)?;
+        let next_id = u64::from_value(serde::get_field(value, "next_id")?)?;
+        let mut index = HashMap::with_capacity(slots.len());
+        for slot in &slots {
+            if index.insert(slot.id(), slot.start()).is_some() {
+                return Err(serde::Error::custom(format!(
+                    "duplicate slot id {} in serialized slot list",
+                    slot.id()
+                )));
+            }
+        }
+        Ok(SlotList {
+            slots,
+            next_id,
+            index,
+        })
     }
 }
 
@@ -332,6 +493,41 @@ mod tests {
     }
 
     #[test]
+    fn indexed_get_matches_linear_lookup() {
+        // Several slots sharing start times so the binary search has to
+        // break ties on id.
+        let list = SlotList::from_slots(vec![
+            slot(5, 0, 10, 40),
+            slot(2, 1, 10, 50),
+            slot(9, 2, 10, 30),
+            slot(1, 3, 0, 20),
+            slot(7, 4, 25, 60),
+        ])
+        .unwrap();
+        for expected in list.as_slice() {
+            let found = list.get(expected.id()).expect("every id resolves");
+            assert_eq!(found, expected);
+            assert!(list.contains(expected.id()));
+        }
+        assert!(list.get(SlotId::new(1000)).is_none());
+        assert!(!list.contains(SlotId::new(1000)));
+    }
+
+    #[test]
+    fn first_at_or_after_brackets_the_list() {
+        let list = SlotList::from_slots(vec![
+            slot(0, 0, 10, 40),
+            slot(1, 1, 10, 50),
+            slot(2, 2, 30, 90),
+        ])
+        .unwrap();
+        assert_eq!(list.first_at_or_after(TimePoint::new(0)), 0);
+        assert_eq!(list.first_at_or_after(TimePoint::new(10)), 0);
+        assert_eq!(list.first_at_or_after(TimePoint::new(11)), 2);
+        assert_eq!(list.first_at_or_after(TimePoint::new(31)), 3);
+    }
+
+    #[test]
     fn subtract_interior_produces_two_remnants() {
         let mut list = SlotList::from_slots(vec![slot(0, 0, 0, 100)]).unwrap();
         list.subtract(SlotId::new(0), span(30, 60)).unwrap();
@@ -406,6 +602,30 @@ mod tests {
         assert_eq!(list.len(), 2);
         for s in list.iter() {
             assert_eq!(s.span(), span(40, 100));
+        }
+        list.validate().unwrap();
+    }
+
+    #[test]
+    fn subtraction_report_lists_consumed_and_minted() {
+        use crate::window::{Window, WindowSlot};
+        let a = slot(0, 0, 0, 100);
+        let b = slot(1, 1, 20, 120);
+        let mut list = SlotList::from_slots(vec![a, b]).unwrap();
+        let w = Window::new(
+            TimePoint::new(20),
+            vec![
+                WindowSlot::from_slot(&a, TimeDelta::new(40)).unwrap(),
+                WindowSlot::from_slot(&b, TimeDelta::new(40)).unwrap(),
+            ],
+        )
+        .unwrap();
+        let report = list.subtract_window_report(&w).unwrap();
+        assert_eq!(report.removed, vec![SlotId::new(0), SlotId::new(1)]);
+        // a → [0, 20) and [60, 100); b → [60, 120).
+        assert_eq!(report.remnants.len(), 3);
+        for remnant in &report.remnants {
+            assert_eq!(list.get(remnant.id()), Some(remnant));
         }
         list.validate().unwrap();
     }

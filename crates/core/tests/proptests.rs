@@ -165,4 +165,67 @@ proptest! {
         prop_assert_eq!(total.micro(), price_micro * ticks);
         prop_assert_eq!(total, Money::from_micro(price_micro) * ticks);
     }
+
+    #[test]
+    fn interleaved_subtractions_preserve_invariants(
+        list in slot_list_strategy(24),
+        ops in prop::collection::vec(
+            (
+                any::<prop::sample::Index>(),
+                0.0f64..1.0,
+                0.01f64..1.0,
+                any::<bool>(),
+            ),
+            1..20,
+        ),
+    ) {
+        // Any interleaving of span subtraction and window subtraction must
+        // keep the list valid (ordering, id index, per-node disjointness)
+        // and shrink the total vacancy by exactly the cut lengths — the
+        // invariant the incremental search's remnant bookkeeping leans on.
+        let mut list = list;
+        let before_total = list.total_vacant_time();
+        let mut removed_total = TimeDelta::ZERO;
+
+        for (pick, frac_start, frac_len, use_window) in ops {
+            if list.is_empty() {
+                break;
+            }
+            let slot = *pick.get(list.as_slice());
+            let len = slot.length().ticks();
+
+            if use_window {
+                // Single-member window anchored at the slot start.
+                let runtime = ((frac_len * len as f64) as i64).clamp(1, len);
+                let member = WindowSlot::from_slot(&slot, TimeDelta::new(runtime)).unwrap();
+                let window = Window::new(slot.start(), vec![member]).unwrap();
+                let report = list.subtract_window_report(&window).unwrap();
+                removed_total += TimeDelta::new(runtime);
+
+                // The report must describe the mutation it performed.
+                prop_assert_eq!(report.removed.as_slice(), &[slot.id()]);
+                for gone in &report.removed {
+                    prop_assert!(list.get(*gone).is_none());
+                }
+                for remnant in &report.remnants {
+                    let found = list.get(remnant.id());
+                    prop_assert_eq!(found, Some(remnant));
+                    prop_assert!(slot.span().contains_span(remnant.span()));
+                }
+            } else {
+                let cut_start = slot.start().ticks() + (frac_start * (len - 1) as f64) as i64;
+                let max_len = slot.end().ticks() - cut_start;
+                let cut_len = ((frac_len * max_len as f64) as i64).max(1);
+                let cut = Span::new(
+                    TimePoint::new(cut_start),
+                    TimePoint::new(cut_start + cut_len),
+                ).unwrap();
+                list.subtract(slot.id(), cut).unwrap();
+                removed_total += cut.length();
+            }
+
+            prop_assert!(list.validate().is_ok());
+            prop_assert_eq!(list.total_vacant_time() + removed_total, before_total);
+        }
+    }
 }

@@ -49,4 +49,12 @@ fn main() {
         w1.end().ticks(),
         w1.cost_per_time()
     );
+    println!(
+        "Search work: ALP examined {} slots ({} checkpoint resumes), \
+         AMP examined {} slots ({} checkpoint resumes)",
+        run.alp.stats.scan.slots_examined,
+        run.alp.stats.scan.checkpoint_hits,
+        run.amp.stats.scan.slots_examined,
+        run.amp.stats.scan.checkpoint_hits,
+    );
 }

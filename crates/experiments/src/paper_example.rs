@@ -148,6 +148,15 @@ mod tests {
     }
 
     #[test]
+    fn searches_resume_from_checkpoints() {
+        // Both built-in selectors take the incremental driver here; every
+        // window after a job's first must come from a checkpoint resume.
+        let run = run().unwrap();
+        assert!(run.alp.stats.scan.checkpoint_hits > 0);
+        assert!(run.amp.stats.scan.checkpoint_hits > 0);
+    }
+
+    #[test]
     fn w2_is_cpu1_cpu2_cpu4_cost_14() {
         let run = run().unwrap();
         let w2 = run.amp.alternatives.per_job()[1].alternatives()[0].window();

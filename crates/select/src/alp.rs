@@ -7,6 +7,7 @@
 
 use ecosched_core::{ResourceRequest, SlotList, Window};
 
+use crate::incremental::{AlgoSpec, JobScan};
 use crate::scan::{forward_scan, LengthRule};
 use crate::selector::SlotSelector;
 use crate::stats::ScanStats;
@@ -66,14 +67,14 @@ impl Alp {
     pub fn length_rule(&self) -> LengthRule {
         self.rule
     }
-}
 
-impl SlotSelector for Alp {
-    fn name(&self) -> &'static str {
-        "ALP"
-    }
-
-    fn find_window(
+    /// The restart-from-scratch reference implementation of
+    /// [`SlotSelector::find_window`].
+    ///
+    /// Kept public as the equivalence oracle for the incremental scan (and
+    /// as the "before" side of the search benchmarks). Returns exactly the
+    /// same window and counters as `find_window`.
+    pub fn find_window_naive(
         &self,
         list: &SlotList,
         request: &ResourceRequest,
@@ -93,6 +94,25 @@ impl SlotSelector for Alp {
                 Some(pool.members()[..n].to_vec())
             },
         )
+    }
+}
+
+impl SlotSelector for Alp {
+    fn name(&self) -> &'static str {
+        "ALP"
+    }
+
+    fn find_window(
+        &self,
+        list: &SlotList,
+        request: &ResourceRequest,
+        stats: &mut ScanStats,
+    ) -> Option<Window> {
+        JobScan::new(&AlgoSpec::alp(self.rule), request).run(list, stats)
+    }
+
+    fn as_algo(&self) -> Option<AlgoSpec> {
+        Some(AlgoSpec::alp(self.rule))
     }
 }
 

@@ -9,6 +9,7 @@
 
 use ecosched_core::{Money, ResourceRequest, SlotList, Window};
 
+use crate::incremental::{AlgoSpec, JobScan};
 use crate::scan::{forward_scan, LengthRule, PoolMember};
 use crate::selector::SlotSelector;
 use crate::stats::ScanStats;
@@ -102,20 +103,16 @@ impl Amp {
             request.budget_scaled(self.rho)
         }
     }
-}
 
-impl Default for Amp {
-    fn default() -> Self {
-        Amp::new()
-    }
-}
-
-impl SlotSelector for Amp {
-    fn name(&self) -> &'static str {
-        "AMP"
-    }
-
-    fn find_window(
+    /// The sort-per-group reference implementation of
+    /// [`SlotSelector::find_window`].
+    ///
+    /// Kept public as the equivalence oracle for the incremental
+    /// cost-ordered pool (and as the "before" side of the search
+    /// benchmarks). Returns exactly the same window and counters as
+    /// `find_window`, in `O(p log p)` per acceptance test instead of
+    /// `O(log p)`.
+    pub fn find_window_naive(
         &self,
         list: &SlotList,
         request: &ResourceRequest,
@@ -145,6 +142,31 @@ impl SlotSelector for Amp {
                 }
             },
         )
+    }
+}
+
+impl Default for Amp {
+    fn default() -> Self {
+        Amp::new()
+    }
+}
+
+impl SlotSelector for Amp {
+    fn name(&self) -> &'static str {
+        "AMP"
+    }
+
+    fn find_window(
+        &self,
+        list: &SlotList,
+        request: &ResourceRequest,
+        stats: &mut ScanStats,
+    ) -> Option<Window> {
+        JobScan::new(&AlgoSpec::amp(self.rule, self.rho), request).run(list, stats)
+    }
+
+    fn as_algo(&self) -> Option<AlgoSpec> {
+        Some(AlgoSpec::amp(self.rule, self.rho))
     }
 }
 

@@ -14,6 +14,7 @@ use std::collections::HashSet;
 
 use ecosched_core::{Alternative, Batch, BatchAlternatives, CoreError, JobId, SlotList, Window};
 
+use crate::incremental::find_alternatives_coscheduled_incremental;
 use crate::search::SearchOutcome;
 use crate::selector::SlotSelector;
 use crate::stats::SearchStats;
@@ -64,6 +65,32 @@ use crate::stats::SearchStats;
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn find_alternatives_coscheduled(
+    selector: impl SlotSelector,
+    list: &SlotList,
+    batch: &Batch,
+) -> Result<SearchOutcome, CoreError> {
+    // Built-in selectors resume each job's scan from its checkpoint; in
+    // this mode that also spares the *losing* jobs of every round their
+    // full rescan, not just the winner's next search.
+    if let Some(spec) = selector.as_algo() {
+        return find_alternatives_coscheduled_incremental(&spec, list, batch);
+    }
+    find_alternatives_coscheduled_naive(selector, list, batch)
+}
+
+/// The restart-per-window reference implementation of
+/// [`find_alternatives_coscheduled`].
+///
+/// Every round re-runs a full [`SlotSelector::find_window`] scan for every
+/// pending job. Kept public as the equivalence oracle and benchmark
+/// baseline for the incremental driver; custom selectors without an
+/// [`crate::AlgoSpec`] always take this path.
+///
+/// # Errors
+///
+/// Propagates [`CoreError`] from slot subtraction, as
+/// [`find_alternatives_coscheduled`] does.
+pub fn find_alternatives_coscheduled_naive(
     selector: impl SlotSelector,
     list: &SlotList,
     batch: &Batch,

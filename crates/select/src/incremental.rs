@@ -1,0 +1,591 @@
+//! Checkpointed, incremental alternatives search.
+//!
+//! The naive multi-pass search restarts every window search from the head
+//! of the slot list, so a batch that commits `A` alternatives on a list of
+//! `m` slots performs `O(A·m)` slot examinations (plus a full cost sort
+//! per candidate group for AMP). This module keeps a **checkpoint** per
+//! job — the anchor of its last accepted window and the candidate pool of
+//! everything admitted *before* that anchor — and resumes each subsequent
+//! search there, re-admitting only the remnants that slot subtraction
+//! minted behind the checkpoint. Amortized over a search this is
+//! `O(m + A·N·log m)`.
+//!
+//! # Why resuming is sound
+//!
+//! Let a job's scan accept at anchor `a` on list `L`, and let `L'` be `L`
+//! after any [`SlotList::subtract_window_report`] (this job's or another
+//! job's). A fresh scan of `L'` can never accept at an anchor `< a`:
+//!
+//! * Subtraction only removes availability: each surviving slot maps to
+//!   itself and each remnant maps to its parent slot. The map preserves
+//!   admission, liveness at any anchor, and cost (a remnant shares its
+//!   parent's node, performance, and price), and at most one remnant per
+//!   parent is live at a given anchor (the left remnant dies at the cut
+//!   start, the right one is born after the cut end). So the candidate
+//!   pool on `L'` at any anchor injects cost-preservingly into the pool on
+//!   `L` at that anchor.
+//! * Both acceptance tests are monotone under that injection: ALP needs
+//!   `N` pool members and AMP needs the `N` cheapest to fit the budget,
+//!   and a subset has fewer members and a no-cheaper `N`-cheapest sum.
+//! * Between group anchors the pool only expires, so anchors that did not
+//!   exist in `L` (remnant starts) cannot accept either: their pool is a
+//!   subset of the pool at the last tested anchor before them.
+//!
+//! Every anchor `< a` failed on `L`, hence fails on `L'`, and the scan can
+//! resume at `a` — provided the carried pool equals what a fresh scan of
+//! `L'` would hold just before processing the group at `a`. The checkpoint
+//! maintains exactly that set: consumed ids are dropped and remnants
+//! starting before `a` are admitted on notification, while the group *at*
+//! `a` is always re-read from the list (its membership changes under
+//! subtraction, and whether an acceptance test runs at `a` at all depends
+//! on it).
+
+use std::collections::{BTreeSet, HashMap};
+
+use ecosched_core::{
+    Alternative, Batch, BatchAlternatives, CoreError, Money, ResourceRequest, Slot, SlotId,
+    SlotList, SubtractionReport, TimePoint, Window,
+};
+
+use crate::scan::{admit_slot, LengthRule, Pool, PoolMember};
+use crate::search::SearchOutcome;
+use crate::stats::{ScanStats, SearchStats};
+
+/// An opaque description of a built-in selection algorithm, used by
+/// [`crate::SlotSelector::as_algo`] to opt into the incremental search.
+///
+/// Only the built-in selectors ([`crate::Alp`], [`crate::Amp`]) can
+/// construct one; custom selectors return `None` from `as_algo` and the
+/// search falls back to the naive restart-per-window driver.
+#[derive(Debug, Clone, Copy)]
+pub struct AlgoSpec {
+    kind: AlgoKind,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum AlgoKind {
+    Alp { rule: LengthRule },
+    Amp { rule: LengthRule, rho: f64 },
+}
+
+impl AlgoSpec {
+    /// ALP with the given length rule.
+    pub(crate) fn alp(rule: LengthRule) -> Self {
+        AlgoSpec {
+            kind: AlgoKind::Alp { rule },
+        }
+    }
+
+    /// AMP with the given length rule and budget discount ρ.
+    pub(crate) fn amp(rule: LengthRule, rho: f64) -> Self {
+        AlgoSpec {
+            kind: AlgoKind::Amp { rule, rho },
+        }
+    }
+}
+
+/// AMP's cost-ordered candidate pool.
+///
+/// Members are split into a `head` of the `n` cheapest by `(cost, id)` —
+/// the exact DESIGN.md R5 tie-break the naive implementation sorts by —
+/// and a `tail` of everything else, with a running sum of the head. One
+/// insertion, removal, or expiry costs `O(log m)`, and the acceptance test
+/// (`head` full and within budget) is `O(1)` instead of the naive
+/// `O(p log p)` sort of the whole pool.
+#[derive(Debug)]
+struct CostPool {
+    n: usize,
+    head: BTreeSet<(Money, SlotId)>,
+    head_sum: Money,
+    tail: BTreeSet<(Money, SlotId)>,
+    /// Members keyed by the last anchor they are live at
+    /// (`end − runtime`), for incremental expiry.
+    by_deadline: BTreeSet<(TimePoint, SlotId)>,
+    members: HashMap<SlotId, PoolMember>,
+}
+
+impl CostPool {
+    fn new(n: usize) -> Self {
+        CostPool {
+            n,
+            head: BTreeSet::new(),
+            head_sum: Money::ZERO,
+            tail: BTreeSet::new(),
+            by_deadline: BTreeSet::new(),
+            members: HashMap::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    fn insert(&mut self, member: PoolMember) {
+        let id = member.slot.id();
+        let key = (member.cost(), id);
+        let deadline = member.slot.end() - member.runtime;
+        let replaced = self.members.insert(id, member);
+        debug_assert!(replaced.is_none(), "slot {id} pooled twice");
+        self.by_deadline.insert((deadline, id));
+        if self.head.len() < self.n {
+            self.head.insert(key);
+            self.head_sum += key.0;
+        } else if self.head.last().is_some_and(|max| key < *max) {
+            let max = *self.head.last().expect("head is non-empty");
+            self.head.remove(&max);
+            self.head_sum -= max.0;
+            self.tail.insert(max);
+            self.head.insert(key);
+            self.head_sum += key.0;
+        } else {
+            self.tail.insert(key);
+        }
+    }
+
+    fn remove(&mut self, id: SlotId) -> bool {
+        let Some(member) = self.members.remove(&id) else {
+            return false;
+        };
+        let key = (member.cost(), id);
+        self.by_deadline
+            .remove(&(member.slot.end() - member.runtime, id));
+        if self.head.remove(&key) {
+            self.head_sum -= key.0;
+            if let Some(promoted) = self.tail.pop_first() {
+                self.head.insert(promoted);
+                self.head_sum += promoted.0;
+            }
+        } else {
+            self.tail.remove(&key);
+        }
+        true
+    }
+
+    /// Expires every member no longer live at `anchor`; returns the count.
+    fn advance(&mut self, anchor: TimePoint) -> u64 {
+        let mut expired = 0;
+        while let Some(&(deadline, id)) = self.by_deadline.first() {
+            if deadline >= anchor {
+                break;
+            }
+            self.remove(id);
+            expired += 1;
+        }
+        expired
+    }
+
+    /// The `n` cheapest members in `(cost, id)` order iff the head is full
+    /// and fits `budget` — byte-identical to the naive sort-and-take.
+    fn accept(&self, budget: Money) -> Option<Vec<PoolMember>> {
+        if self.head.len() == self.n && self.head_sum <= budget {
+            Some(self.head.iter().map(|&(_, id)| self.members[&id]).collect())
+        } else {
+            None
+        }
+    }
+}
+
+/// The per-algorithm candidate pool of one incremental job scan.
+#[derive(Debug)]
+enum AcceptPool {
+    /// ALP: members kept in `(start, id)` order — identical to the naive
+    /// scan's insertion order, since the slot list is sorted the same way.
+    /// Acceptance takes the first `n`. The pool never exceeds `n − 1`
+    /// members between groups, so a plain vector is the right structure.
+    Ordered(Vec<PoolMember>),
+    /// AMP: cost-ordered head/tail with a running head sum.
+    Cost(CostPool),
+}
+
+impl AcceptPool {
+    fn len(&self) -> usize {
+        match self {
+            AcceptPool::Ordered(members) => members.len(),
+            AcceptPool::Cost(pool) => pool.len(),
+        }
+    }
+
+    fn insert(&mut self, member: PoolMember) {
+        match self {
+            AcceptPool::Ordered(members) => {
+                let key = (member.slot.start(), member.slot.id());
+                let pos = members.partition_point(|m| (m.slot.start(), m.slot.id()) < key);
+                members.insert(pos, member);
+            }
+            AcceptPool::Cost(pool) => pool.insert(member),
+        }
+    }
+
+    fn remove(&mut self, id: SlotId) -> bool {
+        match self {
+            AcceptPool::Ordered(members) => match members.iter().position(|m| m.slot.id() == id) {
+                Some(pos) => {
+                    members.remove(pos);
+                    true
+                }
+                None => false,
+            },
+            AcceptPool::Cost(pool) => pool.remove(id),
+        }
+    }
+
+    fn advance(&mut self, anchor: TimePoint) -> u64 {
+        match self {
+            AcceptPool::Ordered(members) => {
+                let before = members.len();
+                members.retain(|m| m.live_at(anchor));
+                (before - members.len()) as u64
+            }
+            AcceptPool::Cost(pool) => pool.advance(anchor),
+        }
+    }
+
+    fn accept(&self, n: usize, budget: Option<Money>) -> Option<Vec<PoolMember>> {
+        match self {
+            AcceptPool::Ordered(members) => {
+                debug_assert!(members.len() >= n, "accept called on a short pool");
+                Some(members[..n].to_vec())
+            }
+            AcceptPool::Cost(pool) => pool.accept(budget.expect("AMP scans always carry a budget")),
+        }
+    }
+}
+
+/// One job's checkpointed forward scan.
+pub(crate) struct JobScan {
+    request: ResourceRequest,
+    rule: LengthRule,
+    /// ALP's per-slot price cap (condition 2°c); AMP admits every price.
+    price_capped: bool,
+    /// AMP's job budget; `None` for ALP.
+    budget: Option<Money>,
+    /// Resume anchor: everything before it has already been scanned, and
+    /// `pool` holds the still-live members admitted there. `None` until
+    /// the first window is accepted.
+    anchor: Option<TimePoint>,
+    pool: AcceptPool,
+    /// Once a scan reaches the end of the list without a window the job
+    /// can never succeed again within the search (monotonicity).
+    dead: bool,
+}
+
+impl JobScan {
+    pub(crate) fn new(spec: &AlgoSpec, request: &ResourceRequest) -> Self {
+        let (rule, price_capped, budget, pool) = match spec.kind {
+            AlgoKind::Alp { rule } => (rule, true, None, AcceptPool::Ordered(Vec::new())),
+            AlgoKind::Amp { rule, rho } => {
+                let budget = if rho >= 1.0 {
+                    request.budget()
+                } else {
+                    request.budget_scaled(rho)
+                };
+                (
+                    rule,
+                    false,
+                    Some(budget),
+                    AcceptPool::Cost(CostPool::new(request.nodes())),
+                )
+            }
+        };
+        JobScan {
+            request: *request,
+            rule,
+            price_capped,
+            budget,
+            anchor: None,
+            pool,
+            dead: false,
+        }
+    }
+
+    pub(crate) fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    fn filter_ok(&self, slot: &Slot) -> bool {
+        !self.price_capped || self.request.price_ok(slot)
+    }
+
+    /// Runs (or resumes) the forward scan over `list`.
+    ///
+    /// On success the checkpoint is advanced to the acceptance anchor; the
+    /// caller is expected to subtract the returned window (or another
+    /// job's) and feed the report back through [`JobScan::apply_report`]
+    /// before the next `run`. On failure the job is marked dead.
+    pub(crate) fn run(&mut self, list: &SlotList, stats: &mut ScanStats) -> Option<Window> {
+        if self.dead {
+            return None;
+        }
+        let from = match self.anchor {
+            Some(anchor) => {
+                stats.checkpoint_hits += 1;
+                list.first_at_or_after(anchor)
+            }
+            None => 0,
+        };
+        let slots = list.as_slice();
+        let n = self.request.nodes();
+        let mut group: Vec<PoolMember> = Vec::new();
+        let mut i = from;
+        while i < slots.len() {
+            let anchor = slots[i].start();
+            group.clear();
+            while i < slots.len() && slots[i].start() == anchor {
+                let slot = &slots[i];
+                i += 1;
+                stats.slots_examined += 1;
+                if !self.filter_ok(slot) {
+                    continue;
+                }
+                if let Some(member) = admit_slot(&self.request, self.rule, slot) {
+                    group.push(member);
+                }
+            }
+            if group.is_empty() {
+                continue;
+            }
+            stats.groups_scanned += 1;
+            stats.slots_expired += self.pool.advance(anchor);
+            stats.slots_admitted += group.len() as u64;
+            for member in &group {
+                self.pool.insert(*member);
+            }
+            stats.pool_high_water = stats.pool_high_water.max(self.pool.len() as u64);
+            if self.pool.len() >= n {
+                stats.acceptance_tests += 1;
+                if let Some(chosen) = self.pool.accept(n, self.budget) {
+                    stats.windows_found += 1;
+                    // Checkpoint: the group at the acceptance anchor is
+                    // re-read from the list on resume, so only members
+                    // from strictly earlier groups stay pooled.
+                    for member in &group {
+                        self.pool.remove(member.slot.id());
+                    }
+                    self.anchor = Some(anchor);
+                    return Some(Pool::build_window(&chosen));
+                }
+            }
+        }
+        self.dead = true;
+        None
+    }
+
+    /// Folds one window subtraction into the checkpoint: consumed slots
+    /// leave the pool, and remnants minted behind the resume anchor are
+    /// re-admitted if they are still useful at it. Remnants at or after
+    /// the anchor are picked up by the forward scan itself.
+    pub(crate) fn apply_report(&mut self, report: &SubtractionReport) {
+        if self.dead {
+            return;
+        }
+        let Some(anchor) = self.anchor else {
+            return; // Fresh scans read the whole list anyway.
+        };
+        for &id in &report.removed {
+            self.pool.remove(id);
+        }
+        for slot in &report.remnants {
+            if slot.start() >= anchor || !self.filter_ok(slot) {
+                continue;
+            }
+            if let Some(member) = admit_slot(&self.request, self.rule, slot) {
+                if member.live_at(anchor) {
+                    self.pool.insert(member);
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for JobScan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobScan")
+            .field("anchor", &self.anchor)
+            .field("pool_len", &self.pool.len())
+            .field("dead", &self.dead)
+            .finish()
+    }
+}
+
+/// The checkpointed sequential (priority-order) alternatives search.
+/// Byte-identical results to [`crate::find_alternatives_naive`].
+pub(crate) fn find_alternatives_incremental(
+    spec: &AlgoSpec,
+    list: &SlotList,
+    batch: &Batch,
+) -> Result<SearchOutcome, CoreError> {
+    let mut remaining = list.clone();
+    let mut alternatives = BatchAlternatives::for_jobs(batch.iter().map(|j| j.id()));
+    let mut stats = SearchStats::new();
+    let mut scans: Vec<JobScan> = batch
+        .iter()
+        .map(|job| JobScan::new(spec, job.request()))
+        .collect();
+
+    loop {
+        let mut found_any = false;
+        for (index, job) in batch.iter().enumerate() {
+            if scans[index].is_dead() {
+                continue;
+            }
+            if let Some(window) = scans[index].run(&remaining, &mut stats.scan) {
+                let report = remaining.subtract_window_report(&window)?;
+                for scan in &mut scans {
+                    scan.apply_report(&report);
+                }
+                alternatives.per_job_mut()[index].push(Alternative::new(job.id(), window));
+                stats.windows_committed += 1;
+                found_any = true;
+            }
+        }
+        stats.passes += 1;
+        if !found_any {
+            break;
+        }
+    }
+
+    Ok(SearchOutcome {
+        alternatives,
+        stats,
+        remaining,
+    })
+}
+
+/// The checkpointed batch-at-once (earliest-window-first) search.
+/// Byte-identical results to
+/// [`crate::find_alternatives_coscheduled_naive`].
+pub(crate) fn find_alternatives_coscheduled_incremental(
+    spec: &AlgoSpec,
+    list: &SlotList,
+    batch: &Batch,
+) -> Result<SearchOutcome, CoreError> {
+    let mut remaining = list.clone();
+    let mut alternatives = BatchAlternatives::for_jobs(batch.iter().map(|j| j.id()));
+    let mut stats = SearchStats::new();
+    let mut scans: Vec<JobScan> = batch
+        .iter()
+        .map(|job| JobScan::new(spec, job.request()))
+        .collect();
+
+    loop {
+        let mut committed_this_pass = 0u64;
+        let mut pending: Vec<usize> = (0..batch.len()).filter(|&i| !scans[i].is_dead()).collect();
+
+        while !pending.is_empty() {
+            // Evaluate every pending job on the *current* list; losers keep
+            // their checkpoint and re-evaluate cheaply next round.
+            let mut best: Option<(usize, Window)> = None;
+            for &index in &pending {
+                if let Some(window) = scans[index].run(&remaining, &mut stats.scan) {
+                    let better = match &best {
+                        None => true,
+                        Some((best_index, best_window)) => {
+                            (window.start(), index) < (best_window.start(), *best_index)
+                        }
+                    };
+                    if better {
+                        best = Some((index, window));
+                    }
+                }
+            }
+            let Some((index, window)) = best else { break };
+            let report = remaining.subtract_window_report(&window)?;
+            for scan in &mut scans {
+                scan.apply_report(&report);
+            }
+            alternatives.per_job_mut()[index]
+                .push(Alternative::new(batch.as_slice()[index].id(), window));
+            stats.windows_committed += 1;
+            committed_this_pass += 1;
+            pending.retain(|&i| i != index && !scans[i].is_dead());
+        }
+
+        stats.passes += 1;
+        if committed_this_pass == 0 {
+            break;
+        }
+    }
+
+    Ok(SearchOutcome {
+        alternatives,
+        stats,
+        remaining,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecosched_core::{NodeId, Perf, Price, Span, TimeDelta};
+
+    fn slot(id: u64, node: u32, perf: f64, price: i64, a: i64, b: i64) -> Slot {
+        Slot::new(
+            SlotId::new(id),
+            NodeId::new(node),
+            Perf::from_f64(perf),
+            Price::from_credits(price),
+            Span::new(TimePoint::new(a), TimePoint::new(b)).unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn member(id: u64, price: i64, a: i64, b: i64, runtime: i64) -> PoolMember {
+        PoolMember {
+            slot: slot(id, id as u32, 1.0, price, a, b),
+            runtime: TimeDelta::new(runtime),
+        }
+    }
+
+    #[test]
+    fn cost_pool_tracks_n_cheapest_with_running_sum() {
+        let mut pool = CostPool::new(2);
+        pool.insert(member(0, 5, 0, 100, 10)); // cost 50
+        pool.insert(member(1, 3, 0, 100, 10)); // cost 30
+        pool.insert(member(2, 1, 0, 100, 10)); // cost 10
+        assert_eq!(pool.len(), 3);
+        // Head = {10, 30}; 50 was displaced to the tail.
+        let chosen = pool.accept(Money::from_credits(40)).unwrap();
+        assert_eq!(chosen[0].slot.id(), SlotId::new(2));
+        assert_eq!(chosen[1].slot.id(), SlotId::new(1));
+        assert!(pool.accept(Money::from_credits(39)).is_none());
+        // Removing a head member promotes the cheapest tail member.
+        assert!(pool.remove(SlotId::new(2)));
+        let chosen = pool.accept(Money::from_credits(80)).unwrap();
+        assert_eq!(chosen[0].slot.id(), SlotId::new(1));
+        assert_eq!(chosen[1].slot.id(), SlotId::new(0));
+    }
+
+    #[test]
+    fn cost_pool_ties_break_by_slot_id() {
+        let mut pool = CostPool::new(1);
+        pool.insert(member(7, 2, 0, 100, 10)); // cost 20
+        pool.insert(member(3, 2, 0, 100, 10)); // cost 20, lower id wins
+        let chosen = pool.accept(Money::from_credits(20)).unwrap();
+        assert_eq!(chosen[0].slot.id(), SlotId::new(3));
+    }
+
+    #[test]
+    fn cost_pool_expires_by_deadline() {
+        let mut pool = CostPool::new(2);
+        pool.insert(member(0, 1, 0, 50, 10)); // live through anchor 40
+        pool.insert(member(1, 1, 0, 100, 10)); // live through anchor 90
+        assert_eq!(pool.advance(TimePoint::new(40)), 0);
+        assert_eq!(pool.advance(TimePoint::new(41)), 1);
+        assert_eq!(pool.len(), 1);
+        assert!(pool.accept(Money::from_credits(100)).is_none()); // head short
+    }
+
+    #[test]
+    fn ordered_pool_keeps_start_id_order() {
+        let mut pool = AcceptPool::Ordered(Vec::new());
+        pool.insert(member(5, 1, 20, 100, 10));
+        pool.insert(member(1, 1, 0, 100, 10));
+        pool.insert(member(3, 1, 20, 100, 10));
+        let chosen = pool.accept(3, None).unwrap();
+        let ids: Vec<u64> = chosen.iter().map(|m| m.slot.id().raw()).collect();
+        assert_eq!(ids, vec![1, 3, 5]);
+        assert!(pool.remove(SlotId::new(3)));
+        assert!(!pool.remove(SlotId::new(3)));
+        assert_eq!(pool.len(), 2);
+    }
+}

@@ -18,6 +18,16 @@
 //! heterogeneous node performance (windows get a "rough right edge"), and
 //! are deterministic.
 //!
+//! For the built-in selectors the alternatives searches run an
+//! *incremental* driver: each job keeps a checkpoint (last acceptance
+//! anchor plus the live candidate pool before it) and resumes there after
+//! every subtraction instead of rescanning the list prefix, and AMP's
+//! acceptance test maintains a cost-ordered pool with a running sum of the
+//! `N` cheapest instead of sorting per group. Results are byte-identical
+//! to the reference drivers, which stay available as
+//! [`find_alternatives_naive`] / [`find_alternatives_coscheduled_naive`];
+//! see `DESIGN.md` § "Complexity & performance" for the cost model.
+//!
 //! # Example
 //!
 //! ```
@@ -57,6 +67,7 @@
 mod alp;
 mod amp;
 mod coschedule;
+mod incremental;
 mod scan;
 mod search;
 mod selector;
@@ -64,8 +75,9 @@ mod stats;
 
 pub use alp::Alp;
 pub use amp::Amp;
-pub use coschedule::find_alternatives_coscheduled;
+pub use coschedule::{find_alternatives_coscheduled, find_alternatives_coscheduled_naive};
+pub use incremental::AlgoSpec;
 pub use scan::LengthRule;
-pub use search::{find_alternatives, SearchOutcome};
+pub use search::{find_alternatives, find_alternatives_naive, SearchOutcome};
 pub use selector::SlotSelector;
 pub use stats::{ScanStats, SearchStats};

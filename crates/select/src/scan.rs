@@ -55,6 +55,28 @@ pub(crate) struct PoolMember {
     pub(crate) runtime: TimeDelta,
 }
 
+/// Tests admission conditions 2°a (performance) and 2°b (length) for one
+/// slot and returns the pool member on success. Condition 2°c (price) is
+/// the algorithm-specific filter and is *not* applied here. Shared by the
+/// naive [`forward_scan`] pool and the incremental per-job scans.
+pub(crate) fn admit_slot(
+    request: &ResourceRequest,
+    rule: LengthRule,
+    slot: &Slot,
+) -> Option<PoolMember> {
+    if !slot.perf().satisfies(request.min_perf()) {
+        return None;
+    }
+    let runtime = rule.runtime(request, slot.perf());
+    if !runtime.is_positive() || slot.length() < runtime {
+        return None;
+    }
+    Some(PoolMember {
+        slot: *slot,
+        runtime,
+    })
+}
+
 impl PoolMember {
     /// Cost of occupying this member for its runtime.
     pub(crate) fn cost(&self) -> Money {
@@ -90,17 +112,7 @@ impl<'req> Pool<'req> {
     /// returns the member on success. Condition 2°c (price) is the
     /// algorithm-specific filter and is *not* applied here.
     pub(crate) fn admit(&self, slot: &Slot) -> Option<PoolMember> {
-        if !slot.perf().satisfies(self.request.min_perf()) {
-            return None;
-        }
-        let runtime = self.rule.runtime(self.request, slot.perf());
-        if !runtime.is_positive() || slot.length() < runtime {
-            return None;
-        }
-        Some(PoolMember {
-            slot: *slot,
-            runtime,
-        })
+        admit_slot(self.request, self.rule, slot)
     }
 
     /// Advances the anchor to `anchor`, expiring members whose remaining
@@ -199,11 +211,13 @@ pub(crate) fn forward_scan<'a>(
         if admitted.is_empty() {
             continue;
         }
+        stats.groups_scanned += 1;
         stats.slots_expired += pool.advance(anchor);
         stats.slots_admitted += admitted.len() as u64;
         for member in admitted {
             pool.push(member);
         }
+        stats.pool_high_water = stats.pool_high_water.max(pool.len() as u64);
         if pool.len() >= request.nodes() {
             if let Some(chosen) = try_accept(&pool, stats) {
                 stats.windows_found += 1;

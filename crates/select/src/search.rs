@@ -18,6 +18,7 @@ use std::collections::HashSet;
 
 use ecosched_core::{Alternative, Batch, BatchAlternatives, CoreError, JobId, SlotList};
 
+use crate::incremental::find_alternatives_incremental;
 use crate::selector::SlotSelector;
 use crate::stats::SearchStats;
 
@@ -84,6 +85,33 @@ impl SearchOutcome {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn find_alternatives(
+    selector: impl SlotSelector,
+    list: &SlotList,
+    batch: &Batch,
+) -> Result<SearchOutcome, CoreError> {
+    // Built-in selectors run the checkpointed incremental driver: same
+    // results, but each window search resumes from the job's last
+    // acceptance anchor instead of rescanning the list prefix.
+    if let Some(spec) = selector.as_algo() {
+        return find_alternatives_incremental(&spec, list, batch);
+    }
+    find_alternatives_naive(selector, list, batch)
+}
+
+/// The restart-per-window reference implementation of
+/// [`find_alternatives`].
+///
+/// Every committed window triggers a fresh [`SlotSelector::find_window`]
+/// scan from the head of the list — `O(A·m)` slot examinations for `A`
+/// alternatives over `m` slots. Kept public as the equivalence oracle and
+/// benchmark baseline for the incremental driver; custom selectors without
+/// an [`crate::AlgoSpec`] always take this path.
+///
+/// # Errors
+///
+/// Propagates [`CoreError`] from slot subtraction, as
+/// [`find_alternatives`] does.
+pub fn find_alternatives_naive(
     selector: impl SlotSelector,
     list: &SlotList,
     batch: &Batch,

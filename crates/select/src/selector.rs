@@ -2,6 +2,7 @@
 
 use ecosched_core::{ResourceRequest, SlotList, Window};
 
+use crate::incremental::AlgoSpec;
 use crate::stats::ScanStats;
 
 /// A single-job window search strategy.
@@ -27,6 +28,18 @@ pub trait SlotSelector {
         request: &ResourceRequest,
         stats: &mut ScanStats,
     ) -> Option<Window>;
+
+    /// Describes this selector as one of the built-in algorithms, if it is
+    /// one.
+    ///
+    /// The alternatives searches use this to switch to the checkpointed
+    /// incremental drivers, which produce byte-identical results to the
+    /// restart-per-window path but amortize the scan cost across windows.
+    /// Custom selectors keep the default `None` and run naively — the
+    /// checkpoint argument only holds for ALP/AMP-shaped acceptance tests.
+    fn as_algo(&self) -> Option<AlgoSpec> {
+        None
+    }
 }
 
 impl<T: SlotSelector + ?Sized> SlotSelector for &T {
@@ -41,6 +54,10 @@ impl<T: SlotSelector + ?Sized> SlotSelector for &T {
         stats: &mut ScanStats,
     ) -> Option<Window> {
         (**self).find_window(list, request, stats)
+    }
+
+    fn as_algo(&self) -> Option<AlgoSpec> {
+        (**self).as_algo()
     }
 }
 

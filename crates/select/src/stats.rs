@@ -22,6 +22,15 @@ pub struct ScanStats {
     pub acceptance_tests: u64,
     /// Windows successfully assembled.
     pub windows_found: u64,
+    /// Same-start groups that admitted at least one candidate (the scan
+    /// only expires members and tests acceptance at these points).
+    pub groups_scanned: u64,
+    /// Largest candidate-pool size observed (merged by `max`, not `+`).
+    pub pool_high_water: u64,
+    /// Scans resumed from a per-job checkpoint instead of rescanning the
+    /// list prefix (incremental alternatives search only; always zero for
+    /// standalone `find_window` calls).
+    pub checkpoint_hits: u64,
 }
 
 impl ScanStats {
@@ -31,13 +40,17 @@ impl ScanStats {
         ScanStats::default()
     }
 
-    /// Adds another counter set into this one.
+    /// Adds another counter set into this one. All counters are additive
+    /// except [`ScanStats::pool_high_water`], which is a running maximum.
     pub fn merge(&mut self, other: &ScanStats) {
         self.slots_examined += other.slots_examined;
         self.slots_admitted += other.slots_admitted;
         self.slots_expired += other.slots_expired;
         self.acceptance_tests += other.acceptance_tests;
         self.windows_found += other.windows_found;
+        self.groups_scanned += other.groups_scanned;
+        self.pool_high_water = self.pool_high_water.max(other.pool_high_water);
+        self.checkpoint_hits += other.checkpoint_hits;
     }
 }
 
@@ -72,6 +85,9 @@ mod tests {
             slots_expired: 3,
             acceptance_tests: 4,
             windows_found: 5,
+            groups_scanned: 6,
+            pool_high_water: 7,
+            checkpoint_hits: 8,
         };
         let b = ScanStats {
             slots_examined: 10,
@@ -79,6 +95,9 @@ mod tests {
             slots_expired: 30,
             acceptance_tests: 40,
             windows_found: 50,
+            groups_scanned: 60,
+            pool_high_water: 3,
+            checkpoint_hits: 80,
         };
         a.merge(&b);
         assert_eq!(a.slots_examined, 11);
@@ -86,6 +105,10 @@ mod tests {
         assert_eq!(a.slots_expired, 33);
         assert_eq!(a.acceptance_tests, 44);
         assert_eq!(a.windows_found, 55);
+        assert_eq!(a.groups_scanned, 66);
+        // High-water marks take the maximum, not the sum.
+        assert_eq!(a.pool_high_water, 7);
+        assert_eq!(a.checkpoint_hits, 88);
     }
 
     #[test]

@@ -91,9 +91,13 @@ fn queue_schedulers_keep_their_guarantees_on_random_queues() {
                 fcfs_start
             );
         }
-        // …and both backfills beat or match FCFS's makespan.
+        // …and conservative backfill beats or matches FCFS's makespan (it
+        // never delays any job, so every completion is no later). EASY has
+        // no such bound: only the queue head's reservation is protected, so
+        // a backfilled job may delay later jobs and occasionally worsen the
+        // makespan (e.g. 11 jobs on 8 nodes where a 60-tick backfill blocks
+        // a 3-node job until the shadow time).
         assert!(c.makespan() <= f.makespan());
-        assert!(e.makespan() <= f.makespan());
         // EASY never delays the queue head past its FCFS start.
         if let Some(head) = jobs.first() {
             assert!(e.get(head.id).unwrap().start <= f.get(head.id).unwrap().start);

@@ -1,0 +1,283 @@
+//! Vendored benchmark harness (see `vendor/README.md`).
+//!
+//! API-compatible with the slice of `criterion` this workspace uses:
+//! `criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_function`, `bench_with_input`, [`BenchmarkId`], and
+//! [`Bencher::iter`]. Instead of criterion's statistical machinery it
+//! measures wall-clock medians and serializes every median into
+//! **`BENCH_select.json` at the repository root** (see [`reporter`]).
+//!
+//! Modes, chosen from the process arguments the way cargo invokes bench
+//! targets:
+//! * `--bench` present (`cargo bench`): full measurement + JSON report.
+//! * otherwise (`cargo test` runs `harness = false` targets too): each
+//!   benchmark body runs once as a smoke test and nothing is written.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub mod reporter;
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self {
+            id: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    mode: Mode,
+    /// Median nanoseconds per iteration, filled by [`Bencher::iter`].
+    result_ns: &'a mut Option<f64>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Full measurement (`cargo bench`).
+    Measure,
+    /// Single smoke iteration (`cargo test`).
+    Smoke,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, recording the median time per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.mode == Mode::Smoke {
+            std::hint::black_box(routine());
+            *self.result_ns = Some(f64::NAN);
+            return;
+        }
+
+        // Warm-up and calibration: find an iteration count that makes one
+        // sample take ~2 ms, so cheap routines aren't all timer noise.
+        let mut iters_per_sample: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters_per_sample >= 1 << 20 {
+                break;
+            }
+            iters_per_sample *= 2;
+        }
+
+        // Measurement: fixed sample count, capped total time so slow
+        // benchmarks (naive baselines at large m) stay tractable.
+        let samples = sample_count();
+        let budget = Duration::from_secs(3);
+        let started = Instant::now();
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            per_iter_ns.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+            if started.elapsed() > budget && per_iter_ns.len() >= 5 {
+                break;
+            }
+        }
+        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let mid = per_iter_ns.len() / 2;
+        let median = if per_iter_ns.len().is_multiple_of(2) {
+            (per_iter_ns[mid - 1] + per_iter_ns[mid]) / 2.0
+        } else {
+            per_iter_ns[mid]
+        };
+        *self.result_ns = Some(median);
+    }
+}
+
+fn sample_count() -> usize {
+    std::env::var("CRITERION_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n: &usize| n >= 3)
+        .unwrap_or(15)
+}
+
+/// A named group of benchmarks, mirroring criterion's `BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark identified by `id` within this group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion.run_one(&full, |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark that receives a borrowed input.
+    pub fn bench_with_input<I: Into<BenchmarkId>, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion.run_one(&full, |b| f(b, input));
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's sample count comes from
+    /// `CRITERION_SAMPLES` instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim caps measurement time
+    /// internally.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Ends the group (markers only; results are flushed by the group
+    /// runner generated by `criterion_group!`).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark manager handed to each `criterion_group!` function.
+pub struct Criterion {
+    mode: Mode,
+    results: Vec<(String, f64)>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let measure = std::env::args().any(|a| a == "--bench");
+        Self {
+            mode: if measure { Mode::Measure } else { Mode::Smoke },
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Runs a top-level benchmark (no group prefix).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        self.run_one(name, |b| f(b));
+        self
+    }
+
+    fn run_one<F: FnOnce(&mut Bencher)>(&mut self, full_name: &str, f: F) {
+        let mut result = None;
+        let mut bencher = Bencher {
+            mode: self.mode,
+            result_ns: &mut result,
+        };
+        f(&mut bencher);
+        if self.mode == Mode::Measure {
+            if let Some(ns) = result {
+                eprintln!("bench {full_name}: median {:.1} ns/iter", ns);
+                self.results.push((full_name.to_string(), ns));
+            }
+        }
+    }
+
+    /// Writes collected medians through the [`reporter`]. Called by the
+    /// runner generated by `criterion_group!`.
+    pub fn flush(&mut self) {
+        if self.mode == Mode::Measure && !self.results.is_empty() {
+            reporter::record(&self.results);
+            self.results.clear();
+        }
+    }
+}
+
+/// Declares a group-runner function executing each benchmark function with
+/// a shared [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+            criterion.flush();
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        // Test binaries are not invoked with --bench, so Default is Smoke.
+        let mut criterion = Criterion::default();
+        let mut runs = 0usize;
+        {
+            let mut group = criterion.benchmark_group("g");
+            group.bench_function("one", |b| b.iter(|| runs += 1));
+            group.finish();
+        }
+        assert_eq!(runs, 1);
+        assert!(criterion.results.is_empty());
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("alp", 135).id, "alp/135");
+        assert_eq!(BenchmarkId::from_parameter(64_000).id, "64000");
+    }
+}

@@ -1,0 +1,67 @@
+//! Median reporter: merges measured medians into `BENCH_select.json` at the
+//! repository root.
+//!
+//! The file is a single JSON object mapping `"group/bench"` names to
+//! `{ "median_ns": <f64> }`. Each bench run merges its results into the
+//! existing file, so successive `cargo bench` invocations (different bench
+//! targets, before/after variants) accumulate into one report.
+
+use serde::Value;
+use std::path::PathBuf;
+
+/// File name written at the workspace root.
+pub const REPORT_FILE: &str = "BENCH_select.json";
+
+/// Locates the repository root by walking up from the current directory
+/// until `ROADMAP.md` is found (cargo runs benches from the package dir).
+fn repo_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("ROADMAP.md").exists() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Merges `(name, median_ns)` pairs into the report file. Existing entries
+/// for other benchmarks are preserved; entries for the same name are
+/// overwritten with the fresh measurement.
+pub fn record(results: &[(String, f64)]) {
+    let Some(root) = repo_root() else {
+        eprintln!("criterion shim: repo root not found; skipping {REPORT_FILE}");
+        return;
+    };
+    let path = root.join(REPORT_FILE);
+
+    let mut entries: Vec<(String, Value)> = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|text| serde_json::from_str::<Value>(&text).ok())
+        .and_then(|value| value.as_map().map(<[(String, Value)]>::to_vec))
+        .unwrap_or_default();
+
+    for (name, median_ns) in results {
+        let entry = Value::Map(vec![("median_ns".to_string(), Value::Float(*median_ns))]);
+        if let Some(slot) = entries.iter_mut().find(|(key, _)| key == name) {
+            slot.1 = entry;
+        } else {
+            entries.push((name.clone(), entry));
+        }
+    }
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let report = Value::Map(entries);
+    match serde_json::to_string_pretty(&report) {
+        Ok(text) => {
+            if let Err(error) = std::fs::write(&path, text) {
+                eprintln!(
+                    "criterion shim: failed to write {}: {error}",
+                    path.display()
+                );
+            }
+        }
+        Err(error) => eprintln!("criterion shim: failed to serialize report: {error}"),
+    }
+}

@@ -1,0 +1,91 @@
+//! Vendored scoped-thread shim for `crossbeam` (see `vendor/README.md`).
+//!
+//! Exposes `crossbeam::scope` with the upstream signature — the closure
+//! receives a [`Scope`], `spawn` passes the scope back into the thread
+//! closure, and `scope` returns `Result` — implemented on top of
+//! `std::thread::scope`.
+
+#![forbid(unsafe_code)]
+
+use std::marker::PhantomData;
+use std::thread;
+
+/// A scope handle that spawns threads joined before `scope` returns.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+    _marker: PhantomData<&'env ()>,
+}
+
+/// Handle to a spawned scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a thread inside the scope. The closure receives the scope,
+    /// matching the upstream crossbeam signature.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || {
+                let scope = Scope {
+                    inner,
+                    _marker: PhantomData,
+                };
+                f(&scope)
+            }),
+        }
+    }
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread to finish, returning its result or the panic
+    /// payload.
+    pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+/// Runs `f` with a thread scope; all spawned threads are joined before this
+/// returns. Returns `Err` with the panic payload if the closure panics.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        thread::scope(|s| {
+            let scope = Scope {
+                inner: s,
+                _marker: PhantomData,
+            };
+            f(&scope)
+        })
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn spawns_and_joins() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = super::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let result = super::scope(|_| panic!("boom"));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,251 @@
+//! Vendored API-compatible shim for `rand` (see `vendor/README.md`).
+//!
+//! Implements the subset of the `rand 0.8` API this workspace uses:
+//! [`RngCore`], [`SeedableRng`], [`Rng::gen_range`] over inclusive integer
+//! and float ranges, [`Rng::gen_bool`], and [`seq::SliceRandom::shuffle`].
+//! Value streams differ from upstream for the same seed; the workspace's
+//! tests assert structural properties (counts, bounds, reproducibility),
+//! never exact streams.
+
+#![forbid(unsafe_code)]
+
+use std::ops::RangeInclusive;
+
+/// The core of a random number generator: raw output blocks.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A type that can be sampled uniformly from a range by an RNG.
+///
+/// Implemented for the inclusive integer and float ranges this workspace
+/// draws from (`i64`, `u64`, `usize`, `f64`).
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Rejection-free-enough uniform draw on `[0, span]` (inclusive) via
+/// Lemire-style widening multiply with rejection for exactness.
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    if span == u64::MAX {
+        return rng.next_u64();
+    }
+    let bound = span + 1;
+    // Rejection sampling on the top zone keeps the draw exactly uniform.
+    let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % bound;
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty => $u:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                let draw = uniform_u64(rng, span) as $u;
+                ((lo as $u).wrapping_add(draw)) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                (self.start..=self.end - 1).sample(rng)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(i64 => u64, u64 => u64, i32 => u32, u32 => u32, usize => usize);
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(
+            lo <= hi && lo.is_finite() && hi.is_finite(),
+            "gen_range: bad range"
+        );
+        // 53 random mantissa bits give a uniform draw in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + unit * (hi - lo)
+    }
+}
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        (self.start..=self.end).sample(rng)
+    }
+}
+
+/// Convenience sampling methods over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a uniform value from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of [0, 1]");
+        if p >= 1.0 {
+            return true;
+        }
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The seed array type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed with SplitMix64 and builds the
+    /// generator from it.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut x = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 step.
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Sequence-related sampling helpers.
+pub mod seq {
+    use super::{RngCore, SampleRange};
+
+    /// Slice extensions for random reordering.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Returns a uniformly chosen element, or `None` if empty.
+        fn choose<'a, R: RngCore + ?Sized>(&'a self, rng: &mut R) -> Option<&'a Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (0..=i).sample(rng);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<'a, R: RngCore + ?Sized>(&'a self, rng: &mut R) -> Option<&'a T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[(0..self.len()).sample(rng)])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    struct Lcg(u64);
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn int_range_inclusive_hits_bounds() {
+        let mut rng = Lcg(1);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let v = rng.gen_range(0i64..=3);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn float_range_stays_in_bounds() {
+        let mut rng = Lcg(2);
+        for _ in 0..200 {
+            let v = rng.gen_range(2.0f64..=3.0);
+            assert!((2.0..=3.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn bool_extremes() {
+        let mut rng = Lcg(3);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Lcg(4);
+        let mut v: Vec<u32> = (0..32).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+    }
+}

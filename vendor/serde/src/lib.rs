@@ -1,0 +1,550 @@
+//! Vendored API-compatible shim for `serde` (see `vendor/README.md`).
+//!
+//! Instead of serde's visitor-based data model, this shim routes everything
+//! through an owned [`Value`] tree: `Serialize` renders a value into a
+//! `Value`, `Deserialize` reads one back. `serde_json` (also vendored)
+//! prints and parses that tree. The public trait names, module paths, and
+//! derive-macro names match upstream so that workspace code compiles
+//! unchanged.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every (de)serialization goes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also the unit value).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer outside `i64` range.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys (field order is preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The sequence items, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// The single error type for both directions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn custom(message: impl fmt::Display) -> Self {
+        Error {
+            message: message.to_string(),
+        }
+    }
+
+    /// Creates a "type mismatch" error.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        Error::custom(format!("expected {what}, found {}", got.kind()))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialization into the [`Value`] data model.
+pub trait Serialize {
+    /// Renders `self` as a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization from the [`Value`] data model.
+///
+/// The lifetime parameter exists only for upstream signature compatibility
+/// (`serde::de::DeserializeOwned` bounds); this shim always deserializes
+/// from an owned tree.
+pub trait Deserialize<'de>: Sized {
+    /// Reads a `Self` out of a [`Value`].
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Upstream-compatible module path for [`Serialize`].
+pub mod ser {
+    pub use crate::{Error, Serialize};
+}
+
+/// Upstream-compatible module path for [`Deserialize`] and `DeserializeOwned`.
+pub mod de {
+    pub use crate::{Deserialize, Error};
+
+    /// A type deserializable without borrowing from the input.
+    pub trait DeserializeOwned: for<'de> crate::Deserialize<'de> {}
+    impl<T: for<'de> crate::Deserialize<'de>> DeserializeOwned for T {}
+}
+
+/// Looks up a required field in a map value (derive-macro helper).
+pub fn get_field<'a>(value: &'a Value, name: &str) -> Result<&'a Value, Error> {
+    let entries = value
+        .as_map()
+        .ok_or_else(|| Error::expected("map", value))?;
+    entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::custom(format!("missing field `{name}`")))
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(i64::from(*self))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Int(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom(concat!("integer out of range for ", stringify!($t)))),
+                    Value::UInt(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom(concat!("integer out of range for ", stringify!($t)))),
+                    other => Err(Error::expected("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let wide = *self as u64;
+                match i64::try_from(wide) {
+                    Ok(n) => Value::Int(n),
+                    Err(_) => Value::UInt(wide),
+                }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Int(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom(concat!("integer out of range for ", stringify!($t)))),
+                    Value::UInt(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom(concat!("integer out of range for ", stringify!($t)))),
+                    other => Err(Error::expected("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        Value::Int(*self as i64)
+    }
+}
+
+impl<'de> Deserialize<'de> for isize {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        i64::from_value(value).and_then(|n| {
+            isize::try_from(n).map_err(|_| Error::custom("integer out of range for isize"))
+        })
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Float(x) => Ok(*x),
+            Value::Int(n) => Ok(*n as f64),
+            Value::UInt(n) => Ok(*n as f64),
+            other => Err(Error::expected("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| Error::expected("single-char string", value))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected a single-character string")),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(()),
+            other => Err(Error::expected("null", other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Composite impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_seq()
+            .ok_or_else(|| Error::expected("sequence", value))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let vec: Vec<T> = Vec::from_value(value)?;
+        <[T; N]>::try_from(vec)
+            .map_err(|v: Vec<T>| Error::custom(format!("expected {N} elements, found {}", v.len())))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+)),*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let items = value.as_seq().ok_or_else(|| Error::expected("sequence", value))?;
+                let expected = [$(stringify!($idx)),+].len();
+                if items.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected a {expected}-tuple, found {} elements", items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3)
+);
+
+// Maps serialize as a sequence of `[key, value]` pairs so that non-string
+// keys (newtype ids, tuples) round-trip losslessly through JSON, which only
+// allows string object keys.
+fn map_to_value<'a, K: Serialize + 'a, V: Serialize + 'a>(
+    entries: impl Iterator<Item = (&'a K, &'a V)>,
+) -> Value {
+    Value::Seq(
+        entries
+            .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+            .collect(),
+    )
+}
+
+fn map_from_value<'de, K: Deserialize<'de>, V: Deserialize<'de>>(
+    value: &Value,
+) -> Result<Vec<(K, V)>, Error> {
+    value
+        .as_seq()
+        .ok_or_else(|| Error::expected("sequence of [key, value] pairs", value))?
+        .iter()
+        .map(|pair| {
+            let items = pair
+                .as_seq()
+                .filter(|items| items.len() == 2)
+                .ok_or_else(|| Error::expected("[key, value] pair", pair))?;
+            Ok((K::from_value(&items[0])?, V::from_value(&items[1])?))
+        })
+        .collect()
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(map_from_value::<K, V>(value)?.into_iter().collect())
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        map_to_value(entries.into_iter())
+    }
+}
+
+impl<'de, K, V, S> Deserialize<'de> for HashMap<K, V, S>
+where
+    K: Deserialize<'de> + std::hash::Hash + Eq,
+    V: Deserialize<'de>,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(map_from_value::<K, V>(value)?.into_iter().collect())
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for std::collections::BTreeSet<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_seq()
+            .ok_or_else(|| Error::expected("sequence", value))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize + Ord, S> Serialize for std::collections::HashSet<T, S> {
+    fn to_value(&self) -> Value {
+        let mut items: Vec<&T> = self.iter().collect();
+        items.sort();
+        Value::Seq(items.into_iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T, S> Deserialize<'de> for std::collections::HashSet<T, S>
+where
+    T: Deserialize<'de> + std::hash::Hash + Eq,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_seq()
+            .ok_or_else(|| Error::expected("sequence", value))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(i64::from_value(&42i64.to_value()).unwrap(), 42);
+        assert_eq!(u64::from_value(&u64::MAX.to_value()).unwrap(), u64::MAX);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            Option::<i32>::from_value(&None::<i32>.to_value()).unwrap(),
+            None
+        );
+        assert_eq!(
+            Vec::<i32>::from_value(&vec![1, 2, 3].to_value()).unwrap(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn field_lookup_reports_missing() {
+        let v = Value::Map(vec![("a".into(), Value::Int(1))]);
+        assert!(get_field(&v, "a").is_ok());
+        assert!(get_field(&v, "b").is_err());
+        assert!(get_field(&Value::Null, "a").is_err());
+    }
+}

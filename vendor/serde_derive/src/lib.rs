@@ -1,0 +1,458 @@
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the serde
+//! shim (see `vendor/README.md`).
+//!
+//! Implemented directly on `proc_macro` token trees — no `syn`/`quote`
+//! available offline. Supports exactly the shapes this workspace derives:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtypes serialize transparently),
+//! * unit structs,
+//! * enums with unit, tuple, and struct variants (externally tagged, like
+//!   upstream serde's default representation).
+//!
+//! Generic types and `#[serde(...)]` attributes are intentionally not
+//! supported; hitting either fails the build with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// `struct S { a: A, b: B }` — field names in declaration order.
+    Named(Vec<String>),
+    /// `struct S(A, B);` — arity.
+    Tuple(usize),
+    /// `struct S;`
+    Unit,
+    /// `enum E { ... }`
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize` for the supported shapes.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives `serde::Deserialize` for the supported shapes.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Parsed {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attributes(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let kind = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic type `{name}` is not supported");
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => panic!("serde shim derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde shim derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    };
+
+    Parsed { name, shape }
+}
+
+fn skip_attributes(tokens: &[TokenTree], pos: &mut usize) {
+    while matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *pos += 1; // '#'
+        match tokens.get(*pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                let inner = g.stream().to_string();
+                if inner.starts_with("serde") {
+                    panic!("serde shim derive: #[serde(...)] attributes are not supported");
+                }
+                *pos += 1;
+            }
+            other => panic!("serde shim derive: malformed attribute {other:?}"),
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *pos += 1;
+        if matches!(
+            tokens.get(*pos),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *pos += 1; // pub(crate) / pub(super)
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            id.to_string()
+        }
+        other => panic!("serde shim derive: expected identifier, found {other:?}"),
+    }
+}
+
+/// Parses `a: A, b: B, ...` — returns the field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        let field = expect_ident(&tokens, &mut pos);
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => {
+                panic!("serde shim derive: expected `:` after field `{field}`, found {other:?}")
+            }
+        }
+        skip_type(&tokens, &mut pos);
+        fields.push(field);
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    fields
+}
+
+/// Skips a type expression up to a top-level `,` (angle-bracket aware).
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(token) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        skip_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut pos);
+        count += 1;
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                pos += 1;
+                VariantShape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                pos += 1;
+                VariantShape::Named(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant `= expr` if present.
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            pos += 1;
+            while pos < tokens.len()
+                && !matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',')
+            {
+                pos += 1;
+            }
+        }
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(parsed: &Parsed) -> String {
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Map(::std::vec::Vec::from([{}]))",
+                entries.join(", ")
+            )
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(arity) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "::serde::Value::Seq(::std::vec::Vec::from([{}]))",
+                items.join(", ")
+            )
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| gen_serialize_variant(name, v))
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+           fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_serialize_variant(enum_name: &str, variant: &Variant) -> String {
+    let v = &variant.name;
+    match &variant.shape {
+        VariantShape::Unit => format!(
+            "{enum_name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+        ),
+        VariantShape::Tuple(arity) => {
+            let binders: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+            let payload = if *arity == 1 {
+                "::serde::Serialize::to_value(__f0)".to_string()
+            } else {
+                let items: Vec<String> = binders
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                format!(
+                    "::serde::Value::Seq(::std::vec::Vec::from([{}]))",
+                    items.join(", ")
+                )
+            };
+            format!(
+                "{enum_name}::{v}({binder_list}) => ::serde::Value::Map(\
+                   ::std::vec::Vec::from([(::std::string::String::from(\"{v}\"), {payload})])),",
+                binder_list = binders.join(", ")
+            )
+        }
+        VariantShape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{enum_name}::{v} {{ {field_list} }} => ::serde::Value::Map(\
+                   ::std::vec::Vec::from([(::std::string::String::from(\"{v}\"), \
+                   ::serde::Value::Map(::std::vec::Vec::from([{entry_list}])))])),",
+                field_list = fields.join(", "),
+                entry_list = entries.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(parsed: &Parsed) -> String {
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::get_field(__value, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))")
+        }
+        Shape::Tuple(arity) => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = __value.as_seq().ok_or_else(|| \
+                     ::serde::Error::expected(\"sequence\", __value))?; \
+                 if __items.len() != {arity} {{ \
+                     return ::std::result::Result::Err(::serde::Error::custom(\
+                         \"wrong tuple arity for {name}\")); \
+                 }} \
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Shape::Unit => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "#[automatically_derived] impl<'de> ::serde::Deserialize<'de> for {name} {{ \
+           fn from_value(__value: &::serde::Value) -> \
+               ::std::result::Result<Self, ::serde::Error> {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.shape, VariantShape::Unit))
+        .map(|v| {
+            format!(
+                "\"{v}\" => return ::std::result::Result::Ok({name}::{v}),",
+                v = v.name
+            )
+        })
+        .collect();
+    let payload_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let vn = &v.name;
+            match &v.shape {
+                VariantShape::Unit => None,
+                VariantShape::Tuple(1) => Some(format!(
+                    "\"{vn}\" => return ::std::result::Result::Ok(\
+                        {name}::{vn}(::serde::Deserialize::from_value(__payload)?)),"
+                )),
+                VariantShape::Tuple(arity) => {
+                    let inits: Vec<String> = (0..*arity)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                        .collect();
+                    Some(format!(
+                        "\"{vn}\" => {{ \
+                           let __items = __payload.as_seq().ok_or_else(|| \
+                               ::serde::Error::expected(\"sequence\", __payload))?; \
+                           if __items.len() != {arity} {{ \
+                               return ::std::result::Result::Err(::serde::Error::custom(\
+                                   \"wrong payload arity for {name}::{vn}\")); \
+                           }} \
+                           return ::std::result::Result::Ok({name}::{vn}({inits})); \
+                         }}",
+                        inits = inits.join(", ")
+                    ))
+                }
+                VariantShape::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                     ::serde::get_field(__payload, \"{f}\")?)?"
+                            )
+                        })
+                        .collect();
+                    Some(format!(
+                        "\"{vn}\" => return ::std::result::Result::Ok(\
+                             {name}::{vn} {{ {inits} }}),",
+                        inits = inits.join(", ")
+                    ))
+                }
+            }
+        })
+        .collect();
+
+    format!(
+        "if let ::serde::Value::Str(__s) = __value {{ \
+             match __s.as_str() {{ {unit_arms} _ => {{}} }} \
+         }} \
+         if let ::std::option::Option::Some(__entries) = __value.as_map() {{ \
+             if __entries.len() == 1 {{ \
+                 let (__tag, __payload) = (&__entries[0].0, &__entries[0].1); \
+                 match __tag.as_str() {{ {payload_arms} _ => {{}} }} \
+             }} \
+         }} \
+         ::std::result::Result::Err(::serde::Error::custom(\
+             \"unknown variant for enum {name}\"))",
+        unit_arms = unit_arms.join(" "),
+        payload_arms = payload_arms.join(" ")
+    )
+}
