@@ -56,6 +56,24 @@ fn bench_from_slots(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_from_sorted_slots(c: &mut Criterion) {
+    // The generators and the vacancy k-way merge hand over pre-sorted
+    // input; the O(m) validating constructor should beat the general
+    // sort-based one at every size.
+    let mut group = c.benchmark_group("slot_list_from_sorted_slots");
+    for m in [135usize, 1_000, 4_000] {
+        let slots: Vec<_> = slot_list(m, 13).into_iter().collect();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| {
+                black_box(
+                    ecosched_core::SlotList::from_sorted_slots(black_box(slots.clone())).unwrap(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_earliest_queries(c: &mut Criterion) {
     let list = slot_list(4_000, 17);
     c.bench_function("total_vacant_time_m4000", |b| {
@@ -72,6 +90,7 @@ criterion_group!(
     bench_subtract_window,
     bench_single_subtract,
     bench_from_slots,
+    bench_from_sorted_slots,
     bench_earliest_queries
 );
 criterion_main!(benches);

@@ -66,6 +66,11 @@ pub enum CoreError {
     },
     /// A batch operation was attempted on an empty batch.
     EmptyBatch,
+    /// A bulk-load constructor received slots out of `(start, id)` order.
+    UnsortedSlots {
+        /// Index of the first slot that breaks the order.
+        index: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -95,6 +100,9 @@ impl fmt::Display for CoreError {
                 write!(f, "window slot on node {node} has non-positive runtime")
             }
             CoreError::EmptyBatch => write!(f, "batch contains no jobs"),
+            CoreError::UnsortedSlots { index } => {
+                write!(f, "slot at index {index} breaks (start, id) order")
+            }
         }
     }
 }
@@ -137,6 +145,7 @@ mod tests {
                 node: NodeId::new(2),
             },
             CoreError::EmptyBatch,
+            CoreError::UnsortedSlots { index: 3 },
         ];
         for err in errors {
             assert!(!format!("{err}").is_empty());

@@ -48,6 +48,7 @@
 mod alternative;
 mod error;
 mod job;
+mod lease;
 mod money;
 mod perf;
 mod request;
@@ -60,6 +61,7 @@ mod window;
 pub use alternative::{Alternative, BatchAlternatives, JobAlternatives};
 pub use error::CoreError;
 pub use job::{Batch, Job, JobId};
+pub use lease::{Lease, LeaseOrigin, Revocation, RevocationReason};
 pub use money::{Money, Price, MONEY_SCALE};
 pub use perf::{Perf, PERF_SCALE};
 pub use request::ResourceRequest;

@@ -12,12 +12,13 @@
 //! `(start, id)` instead of a linear scan — `O(log m)` per operation, which
 //! the incremental alternatives search in `ecosched-select` relies on.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
 use crate::error::CoreError;
+use crate::resource::NodeId;
 use crate::slot::{Slot, SlotId};
 use crate::time::{Span, TimeDelta, TimePoint};
 use crate::window::Window;
@@ -43,6 +44,11 @@ pub struct SlotList {
     /// Start time of each live slot, keyed by id: turns `get`/`subtract`
     /// into a hash probe + binary search on the ordered vector.
     index: HashMap<SlotId, TimePoint>,
+    /// Per-node view `start → id`. Same-node slots are disjoint, so the
+    /// start uniquely keys a slot within its node; this turns region
+    /// queries ([`SlotList::covering_slot`], [`SlotList::remove_region`])
+    /// into `O(log m)` range lookups instead of full scans.
+    node_starts: HashMap<NodeId, BTreeMap<TimePoint, SlotId>>,
 }
 
 /// What one [`SlotList::subtract_window_report`] call did to the list:
@@ -76,6 +82,7 @@ impl SlotList {
         let mut list = SlotList {
             next_id: slots.iter().map(|s| s.id().raw() + 1).max().unwrap_or(0),
             index: HashMap::with_capacity(slots.len()),
+            node_starts: HashMap::new(),
             slots,
         };
         list.slots.sort_by_key(|s| (s.start(), s.id()));
@@ -83,9 +90,91 @@ impl SlotList {
             if list.index.insert(slot.id(), slot.start()).is_some() {
                 return Err(CoreError::DuplicateSlotId { id: slot.id() });
             }
+            list.node_starts
+                .entry(slot.node())
+                .or_default()
+                .insert(slot.start(), slot.id());
         }
         list.validate()?;
         Ok(list)
+    }
+
+    /// Builds a list from slots already in strictly increasing `(start,
+    /// id)` order — the ROADMAP bulk-load path. One pass, `O(m)`: order,
+    /// id uniqueness, and same-node disjointness are all checked as the
+    /// slots stream in, with no sort and no quadratic overlap scan.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::UnsortedSlots`] if a slot is not strictly after its
+    ///   predecessor in `(start, id)` order (this also rejects duplicate
+    ///   ids at equal starts);
+    /// * [`CoreError::DuplicateSlotId`] if an id repeats across different
+    ///   start times;
+    /// * [`CoreError::OverlappingSlots`] if two slots on one node overlap.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ecosched_core::{NodeId, Perf, Price, Slot, SlotId, SlotList, Span, TimePoint};
+    ///
+    /// let mk = |id: u64, a: i64, b: i64| Slot::new(
+    ///     SlotId::new(id), NodeId::new(id as u32), Perf::UNIT,
+    ///     Price::from_credits(2),
+    ///     Span::new(TimePoint::new(a), TimePoint::new(b)).unwrap(),
+    /// ).unwrap();
+    /// let list = SlotList::from_sorted_slots(vec![mk(0, 0, 50), mk(1, 0, 60)]).unwrap();
+    /// assert_eq!(list.len(), 2);
+    /// assert!(SlotList::from_sorted_slots(vec![mk(0, 10, 50), mk(1, 0, 60)]).is_err());
+    /// ```
+    pub fn from_sorted_slots(slots: Vec<Slot>) -> Result<Self, CoreError> {
+        let mut index = HashMap::with_capacity(slots.len());
+        let mut node_starts: HashMap<NodeId, BTreeMap<TimePoint, SlotId>> = HashMap::new();
+        // Running max vacant end per node: starts are non-decreasing, so a
+        // new slot overlaps an earlier same-node slot iff it starts before
+        // the furthest end seen on that node.
+        let mut node_ends: HashMap<NodeId, (TimePoint, SlotId)> = HashMap::new();
+        let mut next_id = 0u64;
+        for (i, slot) in slots.iter().enumerate() {
+            if i > 0 {
+                let prev = &slots[i - 1];
+                if (prev.start(), prev.id()) >= (slot.start(), slot.id()) {
+                    return Err(CoreError::UnsortedSlots { index: i });
+                }
+            }
+            if index.insert(slot.id(), slot.start()).is_some() {
+                return Err(CoreError::DuplicateSlotId { id: slot.id() });
+            }
+            match node_ends.get_mut(&slot.node()) {
+                Some((end, first)) => {
+                    if slot.start() < *end {
+                        return Err(CoreError::OverlappingSlots {
+                            node: slot.node(),
+                            first: *first,
+                            second: slot.id(),
+                        });
+                    }
+                    if slot.end() > *end {
+                        *end = slot.end();
+                        *first = slot.id();
+                    }
+                }
+                None => {
+                    node_ends.insert(slot.node(), (slot.end(), slot.id()));
+                }
+            }
+            node_starts
+                .entry(slot.node())
+                .or_default()
+                .insert(slot.start(), slot.id());
+            next_id = next_id.max(slot.id().raw() + 1);
+        }
+        Ok(SlotList {
+            slots,
+            next_id,
+            index,
+            node_starts,
+        })
     }
 
     /// Mints a fresh slot id, unique within this list.
@@ -116,6 +205,10 @@ impl SlotList {
             .slots
             .partition_point(|s| (s.start(), s.id()) < (slot.start(), slot.id()));
         self.index.insert(slot.id(), slot.start());
+        self.node_starts
+            .entry(slot.node())
+            .or_default()
+            .insert(slot.start(), slot.id());
         self.slots.insert(pos, slot);
         Ok(())
     }
@@ -216,6 +309,65 @@ impl SlotList {
         self.slots.iter().map(Slot::length).sum()
     }
 
+    /// The slot on `node` whose vacant span fully contains `region`, if
+    /// one exists — `O(log m)` via the per-node start index.
+    ///
+    /// Same-node slots are disjoint, so at most one slot can cover the
+    /// region: the last one starting at or before `region.start()`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ecosched_core::{NodeId, Perf, Price, Slot, SlotId, SlotList, Span, TimePoint};
+    ///
+    /// let span = Span::new(TimePoint::new(10), TimePoint::new(90)).unwrap();
+    /// let slot = Slot::new(SlotId::new(0), NodeId::new(3), Perf::UNIT,
+    ///                      Price::from_credits(2), span).unwrap();
+    /// let list = SlotList::from_slots(vec![slot]).unwrap();
+    /// let region = Span::new(TimePoint::new(20), TimePoint::new(50)).unwrap();
+    /// assert!(list.covering_slot(NodeId::new(3), region).is_some());
+    /// assert!(list.covering_slot(NodeId::new(4), region).is_none());
+    /// ```
+    #[must_use]
+    pub fn covering_slot(&self, node: NodeId, region: Span) -> Option<&Slot> {
+        let starts = self.node_starts.get(&node)?;
+        let (_, &id) = starts.range(..=region.start()).next_back()?;
+        let slot = self.get(id)?;
+        slot.span().contains_span(region).then_some(slot)
+    }
+
+    /// Withdraws `region` from every slot on `node` it overlaps — the
+    /// revocation primitive: an owner reclaiming `[a, b)` on a node carves
+    /// that interval out of whatever vacancy remains there, minting
+    /// remnants for the surviving pieces. Returns the ids of the affected
+    /// slots. `O((k + 1) log m)` for `k` affected slots.
+    pub fn remove_region(&mut self, node: NodeId, region: Span) -> Vec<SlotId> {
+        let mut candidates: Vec<SlotId> = Vec::new();
+        if let Some(starts) = self.node_starts.get(&node) {
+            // The predecessor of the region start may reach into it; every
+            // slot starting inside the region overlaps it (spans are
+            // non-empty).
+            if let Some((_, &id)) = starts.range(..region.start()).next_back() {
+                candidates.push(id);
+            }
+            candidates.extend(
+                starts
+                    .range(region.start()..region.end())
+                    .map(|(_, &id)| id),
+            );
+        }
+        let mut affected = Vec::new();
+        for id in candidates {
+            let slot = *self.get(id).expect("node index is in sync with the list");
+            if let Some(cut) = slot.span().intersect(region) {
+                self.subtract(id, cut)
+                    .expect("the intersection lies inside the slot");
+                affected.push(id);
+            }
+        }
+        affected
+    }
+
     /// Removes the interval `cut` from the slot `id`, inserting remnants in
     /// order (Fig. 1 (b)). Locating the slot is `O(log m)` via the index.
     ///
@@ -246,6 +398,12 @@ impl SlotList {
         }
         self.slots.remove(pos);
         self.index.remove(&id);
+        if let Some(starts) = self.node_starts.get_mut(&slot.node()) {
+            starts.remove(&slot.start());
+            if starts.is_empty() {
+                self.node_starts.remove(&slot.node());
+            }
+        }
         let (left, right) = slot.span().subtract(cut);
         for remnant in [left, right].into_iter().flatten() {
             let rid = self.mint_id();
@@ -329,6 +487,19 @@ impl SlotList {
             if self.index.get(&slot.id()) != Some(&slot.start()) {
                 return Err(CoreError::SlotNotFound { id: slot.id() });
             }
+            if self
+                .node_starts
+                .get(&slot.node())
+                .and_then(|starts| starts.get(&slot.start()))
+                != Some(&slot.id())
+            {
+                return Err(CoreError::SlotNotFound { id: slot.id() });
+            }
+        }
+        if self.node_starts.values().map(BTreeMap::len).sum::<usize>() != self.slots.len() {
+            return Err(CoreError::DuplicateSlotId {
+                id: SlotId::new(self.next_id),
+            });
         }
         let mut per_node: HashMap<_, Vec<&Slot>> = HashMap::new();
         for slot in &self.slots {
@@ -377,6 +548,7 @@ impl<'de> Deserialize<'de> for SlotList {
         let slots = Vec::<Slot>::from_value(serde::get_field(value, "slots")?)?;
         let next_id = u64::from_value(serde::get_field(value, "next_id")?)?;
         let mut index = HashMap::with_capacity(slots.len());
+        let mut node_starts: HashMap<NodeId, BTreeMap<TimePoint, SlotId>> = HashMap::new();
         for slot in &slots {
             if index.insert(slot.id(), slot.start()).is_some() {
                 return Err(serde::Error::custom(format!(
@@ -384,11 +556,16 @@ impl<'de> Deserialize<'de> for SlotList {
                     slot.id()
                 )));
             }
+            node_starts
+                .entry(slot.node())
+                .or_default()
+                .insert(slot.start(), slot.id());
         }
         Ok(SlotList {
             slots,
             next_id,
             index,
+            node_starts,
         })
     }
 }
@@ -636,6 +813,119 @@ mod tests {
         assert_eq!(list.earliest_start(), Some(TimePoint::new(5)));
         assert_eq!(list.total_vacant_time(), TimeDelta::new(50));
         assert!(SlotList::new().earliest_start().is_none());
+    }
+
+    #[test]
+    fn from_sorted_slots_matches_from_slots() {
+        let slots = vec![
+            slot(1, 3, 0, 20),
+            slot(5, 0, 10, 40),
+            slot(9, 2, 10, 30),
+            slot(7, 4, 25, 60),
+        ];
+        let sorted = SlotList::from_sorted_slots(slots.clone()).unwrap();
+        let general = SlotList::from_slots(slots).unwrap();
+        assert_eq!(sorted, general);
+        sorted.validate().unwrap();
+        assert_eq!(sorted.next_id, general.next_id);
+    }
+
+    #[test]
+    fn from_sorted_slots_rejects_unsorted_input() {
+        // Out of start order.
+        let err =
+            SlotList::from_sorted_slots(vec![slot(0, 0, 10, 20), slot(1, 1, 0, 5)]).unwrap_err();
+        assert_eq!(err, CoreError::UnsortedSlots { index: 1 });
+        // Equal starts must come in increasing id order.
+        let err =
+            SlotList::from_sorted_slots(vec![slot(4, 0, 10, 20), slot(2, 1, 10, 20)]).unwrap_err();
+        assert_eq!(err, CoreError::UnsortedSlots { index: 1 });
+    }
+
+    #[test]
+    fn from_sorted_slots_rejects_same_node_overlap() {
+        // The long first slot still overlaps the third even though the
+        // second ends earlier — the running bound must track the max end.
+        let err = SlotList::from_sorted_slots(vec![
+            slot(0, 5, 0, 100),
+            slot(1, 6, 10, 20),
+            slot(2, 5, 30, 40),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, CoreError::OverlappingSlots { node, .. } if node == NodeId::new(5)));
+    }
+
+    #[test]
+    fn from_sorted_slots_rejects_duplicate_ids() {
+        let err =
+            SlotList::from_sorted_slots(vec![slot(3, 0, 0, 10), slot(3, 1, 5, 15)]).unwrap_err();
+        assert_eq!(err, CoreError::DuplicateSlotId { id: SlotId::new(3) });
+    }
+
+    #[test]
+    fn covering_slot_finds_the_unique_container() {
+        let list = SlotList::from_slots(vec![
+            slot(0, 0, 0, 50),
+            slot(1, 0, 60, 100),
+            slot(2, 1, 0, 100),
+        ])
+        .unwrap();
+        let region = span(70, 90);
+        assert_eq!(
+            list.covering_slot(NodeId::new(0), region).map(Slot::id),
+            Some(SlotId::new(1))
+        );
+        // A region straddling the gap is covered by nothing.
+        assert!(list.covering_slot(NodeId::new(0), span(40, 70)).is_none());
+        // Other nodes see their own slots only.
+        assert_eq!(
+            list.covering_slot(NodeId::new(1), region).map(Slot::id),
+            Some(SlotId::new(2))
+        );
+        assert!(list.covering_slot(NodeId::new(9), region).is_none());
+    }
+
+    #[test]
+    fn covering_slot_tracks_subtraction() {
+        let mut list = SlotList::from_slots(vec![slot(0, 0, 0, 100)]).unwrap();
+        list.subtract(SlotId::new(0), span(40, 60)).unwrap();
+        assert!(list.covering_slot(NodeId::new(0), span(45, 55)).is_none());
+        let left = list.covering_slot(NodeId::new(0), span(10, 30)).unwrap();
+        assert_eq!(left.span(), span(0, 40));
+        let right = list.covering_slot(NodeId::new(0), span(70, 90)).unwrap();
+        assert_eq!(right.span(), span(60, 100));
+    }
+
+    #[test]
+    fn remove_region_carves_every_overlapping_slot() {
+        let mut list = SlotList::from_slots(vec![
+            slot(0, 0, 0, 30),
+            slot(1, 0, 40, 70),
+            slot(2, 0, 80, 120),
+            slot(3, 1, 0, 120), // other node, untouched
+        ])
+        .unwrap();
+        let affected = list.remove_region(NodeId::new(0), span(20, 90));
+        assert_eq!(
+            affected,
+            vec![SlotId::new(0), SlotId::new(1), SlotId::new(2)]
+        );
+        list.validate().unwrap();
+        let node0: Vec<Span> = list
+            .iter()
+            .filter(|s| s.node() == NodeId::new(0))
+            .map(|s| s.span())
+            .collect();
+        assert_eq!(node0, vec![span(0, 20), span(90, 120)]);
+        assert_eq!(list.get(SlotId::new(3)).unwrap().span(), span(0, 120));
+    }
+
+    #[test]
+    fn remove_region_misses_cleanly() {
+        let mut list = SlotList::from_slots(vec![slot(0, 0, 0, 30)]).unwrap();
+        assert!(list.remove_region(NodeId::new(0), span(30, 50)).is_empty());
+        assert!(list.remove_region(NodeId::new(7), span(0, 50)).is_empty());
+        assert_eq!(list.len(), 1);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! | E11 — multi-version strategies vs failures | [`extensions`] | `exp_strategy` |
 //! | E12 — generator-vs-environment validation | `ecosched_sim::analysis` | `exp_env_validation` |
 //! | E13 — flexibility claim, quantified | [`flexibility`] | `exp_flexibility` |
+//! | E14 — ALP vs AMP under slot revocation | [`churn`] | `exp_churn` |
 //!
 //! # Example
 //!
@@ -43,6 +44,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ablation;
+pub mod churn;
 pub mod extensions;
 pub mod figures;
 pub mod flexibility;

@@ -302,6 +302,23 @@ impl JobScan {
         self.dead
     }
 
+    /// Seeds the resume anchor of a fresh scan so the next [`JobScan::run`]
+    /// starts at `anchor` with an empty pool instead of at the list head.
+    ///
+    /// This is the entry point of the *bounded repair search*
+    /// ([`crate::repair_search`]): only slots starting at or after `anchor`
+    /// are examined, so repairing a window scheduled at `anchor` costs
+    /// O(survivors after `anchor`), not a full rescan. The price is a
+    /// deliberate policy restriction — windows using slots that *start*
+    /// before `anchor` (but are still live there) are not considered.
+    pub(crate) fn resume_from(&mut self, anchor: TimePoint) {
+        debug_assert!(
+            self.anchor.is_none() && self.pool.len() == 0,
+            "resume_from is for seeding fresh scans only"
+        );
+        self.anchor = Some(anchor);
+    }
+
     fn filter_ok(&self, slot: &Slot) -> bool {
         !self.price_capped || self.request.price_ok(slot)
     }

@@ -68,6 +68,7 @@ mod alp;
 mod amp;
 mod coschedule;
 mod incremental;
+mod repair;
 mod scan;
 mod search;
 mod selector;
@@ -77,6 +78,7 @@ pub use alp::Alp;
 pub use amp::Amp;
 pub use coschedule::{find_alternatives_coscheduled, find_alternatives_coscheduled_naive};
 pub use incremental::AlgoSpec;
+pub use repair::{repair_search, revalidate_window, try_adopt_window, RepairError};
 pub use scan::LengthRule;
 pub use search::{find_alternatives, find_alternatives_naive, SearchOutcome};
 pub use selector::SlotSelector;

@@ -6,6 +6,52 @@
 
 use serde::{Deserialize, Serialize};
 
+/// A typed configuration-validation error naming the offending field.
+///
+/// Every `*Config` type in this crate validates with
+/// `fn validate(&self) -> Result<(), ConfigError>`; the constructors that
+/// take a configuration (`SlotGenerator::new`, `JobGenerator::new`, …)
+/// keep their panicking contract by `expect`ing the result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// A probability field is outside `[0, 1]`.
+    NotAProbability {
+        /// The offending field.
+        field: &'static str,
+    },
+    /// A field that must be strictly positive is zero or negative.
+    NotPositive {
+        /// The offending field.
+        field: &'static str,
+    },
+    /// A field that must be non-negative is negative.
+    Negative {
+        /// The offending field.
+        field: &'static str,
+    },
+    /// A pair of bounds is inverted (lower above upper).
+    InvertedBounds {
+        /// The offending bound pair.
+        field: &'static str,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NotAProbability { field } => {
+                write!(f, "{field} must be a probability in [0, 1]")
+            }
+            ConfigError::NotPositive { field } => write!(f, "{field} must be positive"),
+            ConfigError::Negative { field } => write!(f, "{field} must be non-negative"),
+            ConfigError::InvertedBounds { field } => write!(f, "{field} bounds are inverted"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// An inclusive interval for a uniform integer draw.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct IntRange {
@@ -104,21 +150,51 @@ impl Default for SlotGenConfig {
 impl SlotGenConfig {
     /// Validates the configuration.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the same-start probability is outside `[0, 1]`, a length
-    /// bound is non-positive, or the price model is non-positive.
-    pub fn validate(&self) {
-        assert!(
-            (0.0..=1.0).contains(&self.same_start_probability),
-            "probability must be in [0, 1]"
-        );
-        assert!(self.slot_count.lo >= 1, "need at least one slot");
-        assert!(self.slot_length.lo >= 1, "slots need positive length");
-        assert!(self.node_perf.lo > 0.0, "performance must be positive");
-        assert!(self.start_gap.lo >= 0, "gaps cannot be negative");
-        assert!(self.price_base > 0.0, "price base must be positive");
-        assert!(self.price_jitter.lo > 0.0, "price jitter must be positive");
+    /// Returns a [`ConfigError`] naming the first offending field: the
+    /// same-start probability outside `[0, 1]`, a non-positive count,
+    /// length, performance, or price parameter, or a negative gap.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(0.0..=1.0).contains(&self.same_start_probability) {
+            return Err(ConfigError::NotAProbability {
+                field: "same_start_probability",
+            });
+        }
+        positive_int(self.slot_count.lo, "slot_count.lo")?;
+        positive_int(self.slot_length.lo, "slot_length.lo")?;
+        positive_real(self.node_perf.lo, "node_perf.lo")?;
+        if self.start_gap.lo < 0 {
+            return Err(ConfigError::Negative {
+                field: "start_gap.lo",
+            });
+        }
+        positive_real(self.price_base, "price_base")?;
+        positive_real(self.price_jitter.lo, "price_jitter.lo")
+    }
+}
+
+pub(crate) fn positive_int(value: i64, field: &'static str) -> Result<(), ConfigError> {
+    if value >= 1 {
+        Ok(())
+    } else {
+        Err(ConfigError::NotPositive { field })
+    }
+}
+
+pub(crate) fn positive_real(value: f64, field: &'static str) -> Result<(), ConfigError> {
+    if value > 0.0 {
+        Ok(())
+    } else {
+        Err(ConfigError::NotPositive { field })
+    }
+}
+
+pub(crate) fn probability(value: f64, field: &'static str) -> Result<(), ConfigError> {
+    if (0.0..=1.0).contains(&value) {
+        Ok(())
+    } else {
+        Err(ConfigError::NotAProbability { field })
     }
 }
 
@@ -161,20 +237,17 @@ impl Default for JobGenConfig {
 impl JobGenConfig {
     /// Validates the configuration.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on non-positive job counts, node counts, lengths,
-    /// performance, or budget factors.
-    pub fn validate(&self) {
-        assert!(self.jobs_per_batch.lo >= 1, "batches need at least one job");
-        assert!(self.nodes.lo >= 1, "jobs need at least one node");
-        assert!(self.length.lo >= 1, "jobs need positive length");
-        assert!(self.min_perf.lo > 0.0, "performance must be positive");
-        assert!(
-            self.budget_factor.lo > 0.0,
-            "budget factor must be positive"
-        );
-        assert!(self.price_base > 0.0, "price base must be positive");
+    /// Returns a [`ConfigError`] naming the first non-positive job count,
+    /// node count, length, performance, budget factor, or price base.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        positive_int(self.jobs_per_batch.lo, "jobs_per_batch.lo")?;
+        positive_int(self.nodes.lo, "nodes.lo")?;
+        positive_int(self.length.lo, "length.lo")?;
+        positive_real(self.min_perf.lo, "min_perf.lo")?;
+        positive_real(self.budget_factor.lo, "budget_factor.lo")?;
+        positive_real(self.price_base, "price_base")
     }
 }
 
@@ -198,8 +271,8 @@ mod tests {
         assert_eq!((j.length.lo, j.length.hi), (50, 150));
         assert_eq!((j.min_perf.lo, j.min_perf.hi), (1.0, 2.0));
 
-        s.validate();
-        j.validate();
+        s.validate().unwrap();
+        j.validate().unwrap();
     }
 
     #[test]
@@ -209,13 +282,54 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "probability must be in")]
-    fn bad_probability_panics() {
+    fn validation_errors_name_the_field() {
         let c = SlotGenConfig {
             same_start_probability: 1.5,
             ..SlotGenConfig::default()
         };
-        c.validate();
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::NotAProbability {
+                field: "same_start_probability"
+            })
+        );
+        let c = SlotGenConfig {
+            start_gap: IntRange { lo: -1, hi: 3 },
+            ..SlotGenConfig::default()
+        };
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::Negative {
+                field: "start_gap.lo"
+            })
+        );
+        let j = JobGenConfig {
+            nodes: IntRange { lo: 0, hi: 4 },
+            ..JobGenConfig::default()
+        };
+        assert_eq!(
+            j.validate(),
+            Err(ConfigError::NotPositive { field: "nodes.lo" })
+        );
+    }
+
+    #[test]
+    fn config_error_display_is_never_empty() {
+        let errors = [
+            ConfigError::NotAProbability { field: "p" },
+            ConfigError::NotPositive { field: "n" },
+            ConfigError::Negative { field: "g" },
+            ConfigError::InvertedBounds { field: "b" },
+        ];
+        for err in errors {
+            assert!(!format!("{err}").is_empty());
+            assert!(format!("{err}").contains(match err {
+                ConfigError::NotAProbability { field }
+                | ConfigError::NotPositive { field }
+                | ConfigError::Negative { field }
+                | ConfigError::InvertedBounds { field } => field,
+            }));
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@ use ecosched_core::{NodeId, Perf, Price, Resource, TimeDelta};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::config::{IntRange, RealRange};
+use crate::config::{positive_int, positive_real, ConfigError, IntRange, RealRange};
 use crate::rng_ext::{draw_int, draw_real};
 
 /// Identifier of a resource domain.
@@ -121,18 +121,25 @@ impl Default for EnvConfig {
 impl EnvConfig {
     /// Validates the configuration.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on non-positive horizons, counts, or price parameters.
-    pub fn validate(&self) {
-        assert!(self.horizon > 0, "horizon must be positive");
-        assert!(self.domains.lo >= 1, "need at least one domain");
-        assert!(self.nodes_per_domain.lo >= 1, "domains need nodes");
-        assert!(self.node_perf.lo > 0.0, "performance must be positive");
-        assert!(self.price_base > 0.0, "price base must be positive");
-        assert!(self.price_jitter.lo > 0.0, "jitter must be positive");
-        assert!(self.local_job_nodes.lo >= 1, "local jobs need nodes");
-        assert!(self.local_job_length.lo >= 1, "local jobs need length");
+    /// Returns a [`ConfigError`] naming the first offending field:
+    /// non-positive horizons, counts, or price parameters, or a negative
+    /// local-job count.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        positive_int(self.horizon, "horizon")?;
+        positive_int(self.domains.lo, "domains.lo")?;
+        positive_int(self.nodes_per_domain.lo, "nodes_per_domain.lo")?;
+        positive_real(self.node_perf.lo, "node_perf.lo")?;
+        positive_real(self.price_base, "price_base")?;
+        positive_real(self.price_jitter.lo, "price_jitter.lo")?;
+        if self.local_jobs_per_domain.lo < 0 {
+            return Err(ConfigError::Negative {
+                field: "local_jobs_per_domain.lo",
+            });
+        }
+        positive_int(self.local_job_nodes.lo, "local_job_nodes.lo")?;
+        positive_int(self.local_job_length.lo, "local_job_length.lo")
     }
 }
 
@@ -156,8 +163,14 @@ impl Environment {
     }
 
     /// Randomly generates an environment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`EnvConfig::validate`]).
     pub fn generate<R: Rng + ?Sized>(config: &EnvConfig, rng: &mut R) -> Self {
-        config.validate();
+        config
+            .validate()
+            .expect("invalid environment configuration");
         let domain_count = draw_int(rng, config.domains) as usize;
         let mut next_node = 0u32;
         let domains = (0..domain_count)
@@ -262,5 +275,28 @@ mod tests {
     #[test]
     fn display_of_domain_id() {
         assert_eq!(format!("{}", DomainId::new(2)), "domain2");
+    }
+
+    #[test]
+    fn env_validation_errors_name_the_field() {
+        let c = EnvConfig {
+            horizon: 0,
+            ..EnvConfig::default()
+        };
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::NotPositive { field: "horizon" })
+        );
+        let c = EnvConfig {
+            nodes_per_domain: IntRange { lo: 0, hi: 4 },
+            ..EnvConfig::default()
+        };
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::NotPositive {
+                field: "nodes_per_domain.lo"
+            })
+        );
+        EnvConfig::default().validate().unwrap();
     }
 }

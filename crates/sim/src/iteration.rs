@@ -186,6 +186,8 @@ pub fn run_iteration(
             ja.iter()
                 .map(|a| a.time())
                 .min()
+                // invariant: `covered` holds only non-empty sets — the
+                // partition above moved empty ones into `postponed`.
                 .expect("covered jobs have alternatives")
         })
         .sum();

@@ -41,7 +41,9 @@ impl JobGenerator {
     /// [`JobGenConfig::validate`]).
     #[must_use]
     pub fn new(config: JobGenConfig) -> Self {
-        config.validate();
+        config
+            .validate()
+            .expect("invalid job generator configuration");
         JobGenerator { config }
     }
 

@@ -10,7 +10,11 @@
 //!   built so the shortcut can be validated;
 //! * [`run_iteration`] — one complete scheduling iteration: alternatives
 //!   search → Eq. (2)/(3) VO limits → combination optimization;
-//! * [`Metascheduler`] — the iterative loop with postponed-job carry-over;
+//! * [`Metascheduler`] — the iterative loop with postponed-job carry-over
+//!   and revocation-tolerant execution ([`RevocationModel`] injects seeded
+//!   slot revocations; a three-tier repair pass — failover to surviving
+//!   alternatives, bounded repair search, postpone — recovers and accounts
+//!   for every fault in [`RepairStats`]);
 //! * [`RunningStats`] — streaming aggregates for the experiment harness.
 //!
 //! # Example
@@ -34,6 +38,9 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
+// Library code must propagate or document failures; bare `unwrap()` is
+// reserved for tests.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod analysis;
 mod config;
@@ -43,20 +50,25 @@ mod job_gen;
 mod market;
 mod metasched;
 pub mod pricing;
+mod revocation;
 mod rng_ext;
 mod slot_gen;
 mod stats;
 mod strategy;
 pub mod swf;
 
-pub use config::{IntRange, JobGenConfig, RealRange, SlotGenConfig};
+pub use config::{ConfigError, IntRange, JobGenConfig, RealRange, SlotGenConfig};
 pub use iteration::{
     run_iteration, Criterion, IterationConfig, IterationError, IterationResult, OptimizerKind,
     SearchMode,
 };
 pub use job_gen::JobGenerator;
 pub use market::{MarketConfig, MarketCycleReport, MarketSimulation};
-pub use metasched::{CycleSummary, Metascheduler, MetaschedulerReport};
+pub use metasched::{
+    CycleSummary, CycleTrace, JobFate, Metascheduler, MetaschedulerReport, PostponeReason,
+    RepairPolicy, TracedRun,
+};
+pub use revocation::{RepairStats, RevocationConfig, RevocationModel};
 pub use slot_gen::SlotGenerator;
 pub use stats::RunningStats;
 pub use strategy::{ScheduleStrategy, StrategyConfig, StrategyVersion};

@@ -137,6 +137,8 @@ impl MarketSimulation {
                 let ja = result
                     .search
                     .alternatives
+                    // invariant: the optimizer only emits choices for jobs
+                    // present in the search outcome it was given.
                     .get(choice.job)
                     .expect("choices refer to searched jobs");
                 let window = ja.alternatives()[choice.alternative].window();

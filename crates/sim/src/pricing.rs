@@ -11,6 +11,8 @@ use std::collections::BTreeMap;
 use ecosched_core::{NodeId, Slot, SlotList};
 use serde::{Deserialize, Serialize};
 
+use crate::config::{positive_real, probability, ConfigError};
+
 /// Configuration of the supply-and-demand price adjustment.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PricingConfig {
@@ -38,20 +40,25 @@ impl Default for PricingConfig {
 impl PricingConfig {
     /// Validates the configuration.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on non-positive bounds, inverted bounds, a negative
-    /// sensitivity, or a target outside `[0, 1]`.
-    pub fn validate(&self) {
-        assert!(self.sensitivity >= 0.0, "sensitivity must be non-negative");
-        assert!(
-            (0.0..=1.0).contains(&self.target_utilization),
-            "target utilization must be in [0, 1]"
-        );
-        assert!(
-            self.min_multiplier > 0.0 && self.min_multiplier <= self.max_multiplier,
-            "multiplier bounds must be positive and ordered"
-        );
+    /// Returns a [`ConfigError`] naming the offending field: non-positive
+    /// or inverted multiplier bounds, a negative sensitivity, or a target
+    /// outside `[0, 1]`.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.sensitivity < 0.0 {
+            return Err(ConfigError::Negative {
+                field: "sensitivity",
+            });
+        }
+        probability(self.target_utilization, "target_utilization")?;
+        positive_real(self.min_multiplier, "min_multiplier")?;
+        if self.min_multiplier > self.max_multiplier {
+            return Err(ConfigError::InvertedBounds {
+                field: "min_multiplier..max_multiplier",
+            });
+        }
+        Ok(())
     }
 }
 
@@ -70,7 +77,7 @@ impl SupplyDemandPricing {
     /// Panics if the configuration is invalid.
     #[must_use]
     pub fn new(config: PricingConfig) -> Self {
-        config.validate();
+        config.validate().expect("invalid pricing configuration");
         SupplyDemandPricing {
             config,
             multipliers: BTreeMap::new(),
@@ -210,7 +217,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "bounds must be positive")]
+    #[should_panic(expected = "invalid pricing configuration")]
     fn invalid_config_panics() {
         let _ = SupplyDemandPricing::new(PricingConfig {
             min_multiplier: 2.0,

@@ -39,7 +39,9 @@ impl SlotGenerator {
     /// [`SlotGenConfig::validate`]).
     #[must_use]
     pub fn new(config: SlotGenConfig) -> Self {
-        config.validate();
+        config
+            .validate()
+            .expect("invalid slot generator configuration");
         SlotGenerator { config }
     }
 
@@ -79,7 +81,9 @@ impl SlotGenerator {
             .expect("generated slots are non-empty");
             slots.push(slot);
         }
-        SlotList::from_slots(slots).expect("fresh ids and nodes cannot collide")
+        // Starts are non-decreasing and ids strictly increase, so the
+        // pre-sorted O(m) constructor applies.
+        SlotList::from_sorted_slots(slots).expect("generated slots arrive in (start, id) order")
     }
 }
 

@@ -69,9 +69,9 @@ pub use ecosched_sim as sim;
 /// The most common imports in one place.
 pub mod prelude {
     pub use ecosched_core::{
-        Alternative, Batch, BatchAlternatives, CoreError, Job, JobAlternatives, JobId, Money,
-        NodeId, Perf, Price, Resource, ResourceRequest, Slot, SlotId, SlotList, Span, TimeDelta,
-        TimePoint, Window, WindowSlot,
+        Alternative, Batch, BatchAlternatives, CoreError, Job, JobAlternatives, JobId, Lease,
+        LeaseOrigin, Money, NodeId, Perf, Price, Resource, ResourceRequest, Revocation,
+        RevocationReason, Slot, SlotId, SlotList, Span, TimeDelta, TimePoint, Window, WindowSlot,
     };
     pub use ecosched_optimize::{
         max_cost_under_time, min_cost_under_time, min_time_under_budget, time_quota, vo_budget,
@@ -82,7 +82,8 @@ pub mod prelude {
         SearchOutcome, SlotSelector,
     };
     pub use ecosched_sim::{
-        run_iteration, Criterion, IterationConfig, JobGenConfig, JobGenerator, Metascheduler,
-        SearchMode, SlotGenConfig, SlotGenerator,
+        run_iteration, Criterion, IterationConfig, JobFate, JobGenConfig, JobGenerator,
+        Metascheduler, PostponeReason, RepairPolicy, RepairStats, RevocationConfig, SearchMode,
+        SlotGenConfig, SlotGenerator,
     };
 }

@@ -121,3 +121,115 @@ fn original_list_is_never_mutated_by_failures() {
     let _ = find_alternatives(&PhantomSlotSelector, &list, &batch);
     assert_eq!(list, before);
 }
+
+// ---------------------------------------------------------------------------
+// Environment-level faults: the revocation model withdraws committed slots
+// after optimization, and the metascheduler must degrade to typed fates —
+// never panics, never partial state.
+
+use ecosched::sim::{JobGenConfig, SlotGenConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn churn_meta(churn: RevocationConfig) -> Metascheduler {
+    Metascheduler::new(
+        SlotGenConfig::default(),
+        JobGenConfig::default(),
+        IterationConfig::default(),
+    )
+    .with_revocation(churn)
+}
+
+#[test]
+fn total_revocation_postpones_every_job_with_a_clean_reason() {
+    // Every published slot is revoked: all leases break, every alternative
+    // is stale, and the repair search runs on an empty survivor list. With
+    // an ample attempt budget, the only possible fates are the two clean
+    // postpone reasons — never a panic, never a budget artifact.
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let run = churn_meta(RevocationConfig::per_slot(1.0))
+        .with_repair_policy(RepairPolicy {
+            max_attempts: 1_000,
+        })
+        .run_traced(Amp::new(), 3, &mut rng)
+        .unwrap();
+    for (cycle, trace) in run.report.cycles.iter().zip(&run.traces) {
+        assert_eq!(cycle.scheduled, 0, "nothing can survive total revocation");
+        assert!(trace.leases.is_empty());
+        assert!(trace.fates.iter().all(|f| matches!(
+            f,
+            JobFate::Postponed(PostponeReason::NoAlternatives)
+                | JobFate::Postponed(PostponeReason::AllAlternativesStale)
+        )));
+        // Every failover validation failed for the *revoked* reason, and
+        // no repair search could succeed.
+        assert_eq!(
+            cycle.repair.failover_stale_revoked,
+            cycle.repair.failover_validations
+        );
+        assert_eq!(cycle.repair.repairs_succeeded, 0);
+        assert_eq!(cycle.repair.postponed_stale, cycle.repair.leases_broken);
+    }
+}
+
+#[test]
+fn heavy_mixed_churn_degrades_without_partial_state() {
+    let churn = RevocationConfig {
+        per_slot: 0.5,
+        domain_outage: 0.4,
+        nodes_per_domain: 6,
+        price_burst: 0.8,
+        burst_fraction: 0.3,
+    };
+    for seed in 0..5 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let run = churn_meta(churn)
+            .run_traced(Amp::new(), 4, &mut rng)
+            .unwrap();
+        for (cycle, trace) in run.report.cycles.iter().zip(&run.traces) {
+            // Full accounting: every revocation classified, every broken
+            // lease terminal, every job fated.
+            assert_eq!(
+                cycle.repair.revocations_injected,
+                cycle.repair.revocations_breaking + cycle.repair.revocations_vacant_only
+            );
+            assert_eq!(
+                cycle.repair.leases_broken,
+                cycle.repair.recovered()
+                    + cycle.repair.postponed_stale
+                    + cycle.repair.postponed_budget_exhausted
+            );
+            assert_eq!(trace.fates.len(), cycle.batch_size);
+            assert_eq!(
+                trace.leases.len(),
+                trace.fates.iter().filter(|f| f.is_scheduled()).count()
+            );
+            // No surviving lease touches a revoked region.
+            for lease in &trace.leases {
+                for r in &trace.revocations {
+                    assert!(!lease.broken_by(r));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn revocation_disabled_is_byte_identical_to_the_legacy_loop() {
+    // The fault layer must be invisible when off: same RNG consumption,
+    // same cycle summaries, zero repair activity.
+    let run = |churn: Option<RevocationConfig>| {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let meta = match churn {
+            Some(c) => churn_meta(c),
+            None => churn_meta(RevocationConfig::default()),
+        };
+        meta.run(Amp::new(), 4, &mut rng).unwrap()
+    };
+    let disabled = run(None);
+    let explicit_none = run(Some(RevocationConfig::default()));
+    assert_eq!(disabled, explicit_none);
+    let totals = disabled.repair_totals();
+    assert_eq!(totals.revocations_injected, 0);
+    assert_eq!(totals.leases_broken, 0);
+}
