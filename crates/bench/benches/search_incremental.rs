@@ -159,9 +159,12 @@ fn bench_single_window_amp(c: &mut Criterion) {
     // the list, which is what the unsatisfiable wide request provokes
     // (every slot admitted, nothing ever expires fast enough).
     let mut group = c.benchmark_group("find_window_amp");
+    // The 135-slot point sits below the adaptive pool's Vec/BTreeSet
+    // switch-over, pinning the small-market case the paper's Sec. 5
+    // environment (m ≈ 130) actually exercises.
     let request =
         ResourceRequest::new(4, TimeDelta::new(60), Perf::UNIT, Price::from_credits(4)).unwrap();
-    for m in [1_000usize, 16_000] {
+    for m in [135usize, 1_000, 16_000] {
         let list = banded_list(m);
         group.bench_with_input(BenchmarkId::new("naive", m), &m, |b, _| {
             b.iter(|| {

@@ -1,0 +1,219 @@
+//! Engine configuration: clock, arrivals, market churn, and metrics knobs.
+
+use ecosched_sim::swf::{SwfImportConfig, SwfJob};
+use ecosched_sim::{
+    ConfigError, IterationConfig, JobGenConfig, RepairPolicy, RevocationConfig, SlotGenConfig,
+};
+use serde::{Deserialize, Serialize};
+
+/// Where the online job stream comes from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalConfig {
+    /// A seeded Poisson process: exponential inter-arrival gaps with the
+    /// given mean, each arrival drawing one paper-style request.
+    Poisson {
+        /// Mean inter-arrival gap in ticks.
+        mean_interarrival: f64,
+        /// Total jobs to generate.
+        jobs: u32,
+        /// The request distributions (the paper's Sec. 5 generator).
+        job_gen: JobGenConfig,
+    },
+    /// Replay of a Standard Workload Format trace: arrival times come from
+    /// the trace's submit field (scaled by the import config's
+    /// `seconds_per_tick`), economic attributes are drawn per job as in
+    /// [`ecosched_sim::swf::batch_from_swf`].
+    Trace {
+        /// The parsed trace jobs, in trace order.
+        trace: Vec<SwfJob>,
+        /// How to convert rigid trace jobs into economic requests.
+        import: SwfImportConfig,
+    },
+}
+
+impl ArrivalConfig {
+    fn validate(&self) -> Result<(), ConfigError> {
+        match self {
+            ArrivalConfig::Poisson {
+                mean_interarrival,
+                jobs,
+                job_gen,
+            } => {
+                if *mean_interarrival <= 0.0 {
+                    return Err(ConfigError::NotPositive {
+                        field: "mean_interarrival",
+                    });
+                }
+                if *jobs == 0 {
+                    return Err(ConfigError::NotPositive { field: "jobs" });
+                }
+                job_gen.validate()
+            }
+            ArrivalConfig::Trace { import, .. } => {
+                if import.seconds_per_tick <= 0 {
+                    return Err(ConfigError::NotPositive {
+                        field: "seconds_per_tick",
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Configuration of one discrete-event engine run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Ticks between scheduling cycles (slot publication and `CycleTick`
+    /// both fire on this period; revocation strikes fire mid-period).
+    pub cycle_length: i64,
+    /// Number of scheduling cycles. The run ends when the event queue
+    /// drains, which may be after the last tick (leases finish on their
+    /// own clock).
+    pub cycles: u32,
+    /// The slot market published each cycle (paper Sec. 5 distributions).
+    pub slot_gen: SlotGenConfig,
+    /// The mid-cycle fault model. Disabled by default; when disabled no
+    /// `RevocationStrike` events are scheduled and no RNG is drawn for
+    /// faults.
+    pub revocation: RevocationConfig,
+    /// The per-broken-lease recovery budget for the three-tier repair
+    /// pass.
+    pub repair: RepairPolicy,
+    /// The scheduling pipeline configuration (criterion, optimizer,
+    /// search mode).
+    pub iteration: IterationConfig,
+    /// Number of virtual organisations; arriving jobs are assigned
+    /// round-robin and per-VO spend is tracked.
+    pub vos: u32,
+    /// Fraction of a lease's planned length it actually runs before
+    /// completing (traces routinely overestimate requested time). The
+    /// unused tail returns to the vacant list at completion. Must be in
+    /// `(0, 1]`.
+    pub completion_fraction: f64,
+    /// The bounded-slowdown threshold τ in ticks:
+    /// `max((wait + run) / max(run, τ), 1)`.
+    pub slowdown_tau: i64,
+    /// The job stream.
+    pub arrivals: ArrivalConfig,
+}
+
+impl Default for EngineConfig {
+    /// A small continuous-load scenario: 8 cycles of 60 ticks, a Poisson
+    /// stream of 40 paper-style jobs, revocation disabled.
+    fn default() -> Self {
+        EngineConfig {
+            cycle_length: 60,
+            cycles: 8,
+            slot_gen: SlotGenConfig::default(),
+            revocation: RevocationConfig::none(),
+            repair: RepairPolicy::default(),
+            iteration: IterationConfig::default(),
+            vos: 3,
+            completion_fraction: 0.75,
+            slowdown_tau: 10,
+            arrivals: ArrivalConfig::Poisson {
+                mean_interarrival: 12.0,
+                jobs: 40,
+                job_gen: JobGenConfig::default(),
+            },
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the first offending field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.cycle_length <= 0 {
+            return Err(ConfigError::NotPositive {
+                field: "cycle_length",
+            });
+        }
+        if self.cycles == 0 {
+            return Err(ConfigError::NotPositive { field: "cycles" });
+        }
+        if self.vos == 0 {
+            return Err(ConfigError::NotPositive { field: "vos" });
+        }
+        if !(self.completion_fraction > 0.0 && self.completion_fraction <= 1.0) {
+            return Err(ConfigError::NotAProbability {
+                field: "completion_fraction",
+            });
+        }
+        if self.slowdown_tau <= 0 {
+            return Err(ConfigError::NotPositive {
+                field: "slowdown_tau",
+            });
+        }
+        self.slot_gen.validate()?;
+        self.revocation.validate()?;
+        self.arrivals.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        EngineConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn bad_fields_are_named() {
+        let bad = EngineConfig {
+            cycle_length: 0,
+            ..EngineConfig::default()
+        };
+        assert_eq!(
+            bad.validate(),
+            Err(ConfigError::NotPositive {
+                field: "cycle_length"
+            })
+        );
+        let bad = EngineConfig {
+            completion_fraction: 1.5,
+            ..EngineConfig::default()
+        };
+        assert_eq!(
+            bad.validate(),
+            Err(ConfigError::NotAProbability {
+                field: "completion_fraction"
+            })
+        );
+        let bad = EngineConfig {
+            arrivals: ArrivalConfig::Poisson {
+                mean_interarrival: 0.0,
+                jobs: 10,
+                job_gen: JobGenConfig::default(),
+            },
+            ..EngineConfig::default()
+        };
+        assert_eq!(
+            bad.validate(),
+            Err(ConfigError::NotPositive {
+                field: "mean_interarrival"
+            })
+        );
+    }
+
+    #[test]
+    fn trace_arrivals_validate_tick_scale() {
+        let bad = EngineConfig {
+            arrivals: ArrivalConfig::Trace {
+                trace: Vec::new(),
+                import: SwfImportConfig {
+                    seconds_per_tick: 0,
+                    ..SwfImportConfig::default()
+                },
+            },
+            ..EngineConfig::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+}

@@ -1,0 +1,120 @@
+//! The determinism contract: an engine run is a pure function of
+//! `(config, seed)`, so identically seeded runs must produce
+//! byte-identical serialized event logs and reports.
+
+use ecosched_engine::{ArrivalConfig, Engine, EngineConfig, Event};
+use ecosched_select::{Alp, Amp};
+use ecosched_sim::swf::{parse_swf, SwfImportConfig};
+use ecosched_sim::{JobGenConfig, RevocationConfig};
+
+fn base_config() -> EngineConfig {
+    EngineConfig {
+        cycles: 5,
+        arrivals: ArrivalConfig::Poisson {
+            mean_interarrival: 8.0,
+            jobs: 20,
+            job_gen: JobGenConfig::default(),
+        },
+        ..EngineConfig::default()
+    }
+}
+
+fn churn_config() -> EngineConfig {
+    EngineConfig {
+        revocation: RevocationConfig::per_slot(0.05),
+        ..base_config()
+    }
+}
+
+#[test]
+fn same_seed_same_log_and_report() {
+    let engine = Engine::new(base_config(), Amp::new()).unwrap();
+    let a = engine.run(42).unwrap();
+    let b = engine.run(42).unwrap();
+    assert_eq!(a.log.to_json(), b.log.to_json());
+    assert_eq!(a.log.fnv1a_hash(), b.log.fnv1a_hash());
+    assert_eq!(a.report.to_json(), b.report.to_json());
+}
+
+#[test]
+fn same_seed_same_log_under_churn() {
+    let engine = Engine::new(churn_config(), Amp::new()).unwrap();
+    let a = engine.run(42).unwrap();
+    let b = engine.run(42).unwrap();
+    assert_eq!(a.log.to_json(), b.log.to_json());
+    assert_eq!(a.report.to_json(), b.report.to_json());
+    assert!(a.report.revocations > 0, "churn config must inject faults");
+}
+
+#[test]
+fn same_seed_same_log_for_alp() {
+    let engine = Engine::new(churn_config(), Alp::new()).unwrap();
+    let a = engine.run(17).unwrap();
+    let b = engine.run(17).unwrap();
+    assert_eq!(a.log.fnv1a_hash(), b.log.fnv1a_hash());
+    assert_eq!(a.report, b.report);
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let engine = Engine::new(base_config(), Amp::new()).unwrap();
+    let a = engine.run(1).unwrap();
+    let b = engine.run(2).unwrap();
+    assert_ne!(
+        a.log.fnv1a_hash(),
+        b.log.fnv1a_hash(),
+        "different seeds must produce different event streams"
+    );
+}
+
+#[test]
+fn trace_replay_is_deterministic() {
+    let trace = parse_swf(
+        "; mini trace\r\n\
+         1 0 5 3600 4 -1 -1 4 3600 -1 1 1 1 1 1 1 -1 -1\r\n\
+         2 30 5 1800 2 -1 -1 2 2400 -1 1 1 1 1 1 1 -1 -1\r\n\
+         3 90 5 1200 1 -1 -1 1 1200 -1 1 1 1 1 1 1 -1 -1\r\n\
+         4 150 5 2400 2 -1 -1 2 3000 -1 1 1 1 1 1 1 -1 -1\r\n",
+    )
+    .unwrap();
+    let config = EngineConfig {
+        cycles: 4,
+        arrivals: ArrivalConfig::Trace {
+            trace,
+            import: SwfImportConfig::default(),
+        },
+        ..EngineConfig::default()
+    };
+    let engine = Engine::new(config, Amp::new()).unwrap();
+    let a = engine.run(9).unwrap();
+    let b = engine.run(9).unwrap();
+    assert_eq!(a.log.to_json(), b.log.to_json());
+    assert_eq!(a.report.to_json(), b.report.to_json());
+    assert_eq!(a.report.jobs_arrived, 4);
+    assert!(a.report.jobs_scheduled > 0);
+}
+
+#[test]
+fn log_covers_the_full_event_taxonomy() {
+    let engine = Engine::new(churn_config(), Amp::new()).unwrap();
+    let run = engine.run(42).unwrap();
+    let has = |pred: fn(&Event) -> bool| run.log.entries.iter().any(|e| pred(&e.event));
+    assert!(has(|e| matches!(e, Event::JobArrival { .. })));
+    assert!(has(|e| matches!(e, Event::SlotPublished { .. })));
+    assert!(has(|e| matches!(e, Event::SlotExpired { .. })));
+    assert!(has(|e| matches!(e, Event::CycleTick { .. })));
+    assert!(has(|e| matches!(e, Event::RevocationStrike { .. })));
+    assert!(has(|e| matches!(e, Event::LeaseCompleted { .. })));
+}
+
+#[test]
+fn log_times_and_ties_are_ordered() {
+    let engine = Engine::new(churn_config(), Amp::new()).unwrap();
+    let run = engine.run(23).unwrap();
+    for pair in run.log.entries.windows(2) {
+        assert!(
+            (pair[0].time, pair[0].seq) < (pair[1].time, pair[1].seq),
+            "log must be strictly ordered by (time, seq)"
+        );
+    }
+}

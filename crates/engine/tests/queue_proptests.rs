@@ -1,0 +1,81 @@
+//! Property tests for the event queue's ordering contract and the
+//! engine's end-to-end determinism.
+
+use ecosched_core::TimePoint;
+use ecosched_engine::{ArrivalConfig, Engine, EngineConfig, Event, EventQueue};
+use ecosched_select::Amp;
+use ecosched_sim::{JobGenConfig, RevocationConfig};
+use proptest::prelude::*;
+
+proptest! {
+    /// Pop times are monotonically non-decreasing regardless of push
+    /// order.
+    #[test]
+    fn pop_times_are_monotone(times in prop::collection::vec(0i64..1000, 1..64)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.push(TimePoint::new(*t), Event::JobArrival { job: i as u32 });
+        }
+        let mut last = i64::MIN;
+        while let Some((t, _, _)) = q.pop() {
+            prop_assert!(t.ticks() >= last, "time went backwards");
+            last = t.ticks();
+        }
+    }
+
+    /// Events pushed at the same time pop in insertion order: their
+    /// sequence numbers come back strictly increasing within each time.
+    #[test]
+    fn equal_times_pop_in_insertion_order(times in prop::collection::vec(0i64..8, 2..64)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.push(TimePoint::new(*t), Event::JobArrival { job: i as u32 });
+        }
+        let mut last: Option<(i64, u64)> = None;
+        while let Some((t, seq, _)) = q.pop() {
+            if let Some((lt, ls)) = last {
+                prop_assert!(
+                    (lt, ls) < (t.ticks(), seq),
+                    "(time, seq) must be strictly increasing"
+                );
+            }
+            last = Some((t.ticks(), seq));
+        }
+    }
+
+}
+
+proptest! {
+    // Each case is two full engine runs; keep the count small.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Two engines built from the same config and seed produce identical
+    /// event-log hashes — the determinism contract, across random seeds
+    /// and load levels.
+    #[test]
+    fn seeded_runs_are_reproducible(
+        seed in 0u64..1_000_000,
+        jobs in 4u32..16,
+        churn in any::<bool>(),
+    ) {
+        let config = EngineConfig {
+            cycles: 3,
+            revocation: if churn {
+                RevocationConfig::per_slot(0.04)
+            } else {
+                RevocationConfig::none()
+            },
+            arrivals: ArrivalConfig::Poisson {
+                mean_interarrival: 10.0,
+                jobs,
+                job_gen: JobGenConfig::default(),
+            },
+            ..EngineConfig::default()
+        };
+        let engine = Engine::new(config, Amp::new()).unwrap();
+        let a = engine.run(seed).unwrap();
+        let b = engine.run(seed).unwrap();
+        prop_assert_eq!(a.log.fnv1a_hash(), b.log.fnv1a_hash());
+        prop_assert_eq!(a.report.to_json(), b.report.to_json());
+    }
+}

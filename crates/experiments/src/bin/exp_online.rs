@@ -1,0 +1,76 @@
+//! E15 — online metascheduling on the discrete-event engine: ALP vs AMP
+//! under continuous Poisson load, calm and churn, against the legacy
+//! batch-cycle baseline.
+//!
+//! Usage: `exp_online [--seed S] [--cycles C] [--jobs J] [--churn P] [--smoke]`.
+//!
+//! `--smoke` runs the determinism smoke check used by CI: every grid cell
+//! is run twice and the process exits non-zero if any pair of identically
+//! seeded runs diverges. The output (hashes plus canonical report JSON)
+//! is itself deterministic, so CI runs the binary twice and diffs.
+
+use ecosched_experiments::arg_value;
+use ecosched_experiments::online::{
+    batch_table, online_table, run_batch_baseline, run_online, OnlineConfig,
+};
+
+fn main() {
+    let config = OnlineConfig {
+        seed: arg_value("--seed").unwrap_or(42),
+        cycles: arg_value("--cycles").unwrap_or(12),
+        jobs: arg_value("--jobs").unwrap_or(60),
+        churn: arg_value("--churn").unwrap_or(0.05),
+        ..OnlineConfig::default()
+    };
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    if smoke {
+        let first = run_online(&config);
+        let second = run_online(&config);
+        let mut diverged = false;
+        for (a, b) in first.iter().zip(&second) {
+            let ok =
+                a.report.log_hash == b.report.log_hash && a.report.to_json() == b.report.to_json();
+            if !ok {
+                diverged = true;
+                eprintln!(
+                    "DETERMINISM VIOLATION: {}/{} hashes {} vs {}",
+                    a.scenario, a.algo, a.report.log_hash, b.report.log_hash
+                );
+            }
+            println!(
+                "event_log_hash scenario={} algo={} hash={}",
+                a.scenario, a.algo, a.report.log_hash
+            );
+        }
+        for p in &first {
+            println!(
+                "report scenario={} algo={} {}",
+                p.scenario,
+                p.algo,
+                p.report.to_json()
+            );
+        }
+        if diverged {
+            std::process::exit(1);
+        }
+        println!("determinism ok: {} runs reproduced", first.len());
+        return;
+    }
+
+    eprintln!(
+        "running online grid (seed {}, {} cycles, {} jobs, churn {})…",
+        config.seed, config.cycles, config.jobs, config.churn
+    );
+    let online = run_online(&config);
+    println!("E15 — online metascheduling over a virtual clock (discrete-event engine)\n");
+    println!("{}", online_table(&online).render());
+    for p in &online {
+        println!(
+            "event_log_hash scenario={} algo={} hash={}",
+            p.scenario, p.algo, p.report.log_hash
+        );
+    }
+    println!("\nlegacy batch-cycle baseline (closed batches, no clock):\n");
+    println!("{}", batch_table(&run_batch_baseline(&config)).render());
+}

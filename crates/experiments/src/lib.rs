@@ -19,6 +19,7 @@
 //! | E12 — generator-vs-environment validation | `ecosched_sim::analysis` | `exp_env_validation` |
 //! | E13 — flexibility claim, quantified | [`flexibility`] | `exp_flexibility` |
 //! | E14 — ALP vs AMP under slot revocation | [`churn`] | `exp_churn` |
+//! | E15 — online load on the discrete-event engine | [`online`] | `exp_online` |
 //!
 //! # Example
 //!
@@ -49,6 +50,7 @@ pub mod extensions;
 pub mod figures;
 pub mod flexibility;
 pub mod gantt;
+pub mod online;
 pub mod paper_example;
 pub mod report;
 pub mod rho_sweep;

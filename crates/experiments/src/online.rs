@@ -1,0 +1,288 @@
+//! The online experiment (E15): ALP vs AMP under continuous load on the
+//! discrete-event engine, against the legacy batch-cycle metascheduler.
+//!
+//! The paper schedules a static batch against a static slot market. The
+//! engine replays the same pipeline online: jobs arrive over a Poisson
+//! stream, slot batches are published per cycle, leases complete on their
+//! own clock and return unused capacity, and (in the churn scenario)
+//! mid-cycle revocation strikes break running leases. This re-asks the
+//! ALP-vs-AMP question with time in the loop — wait, bounded slowdown and
+//! utilization now exist as metrics — and contrasts both with the legacy
+//! closed-batch cycles of [`ecosched_sim::Metascheduler`].
+
+use ecosched_engine::{ArrivalConfig, Engine, EngineConfig, EngineReport};
+use ecosched_select::{Alp, Amp, SlotSelector};
+use ecosched_sim::{IterationConfig, JobGenConfig, Metascheduler, RevocationConfig, SlotGenConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::report::{f2, Table};
+
+/// Configuration of the online experiment.
+#[derive(Debug, Clone)]
+pub struct OnlineConfig {
+    /// The engine seed (the run is a pure function of config and seed).
+    pub seed: u64,
+    /// Scheduling cycles per run.
+    pub cycles: u32,
+    /// Jobs in the Poisson arrival stream.
+    pub jobs: u32,
+    /// Mean inter-arrival gap in ticks.
+    pub mean_interarrival: f64,
+    /// Per-slot revocation probability for the churn scenario.
+    pub churn: f64,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig {
+            seed: 42,
+            cycles: 12,
+            jobs: 60,
+            mean_interarrival: 10.0,
+            churn: 0.05,
+        }
+    }
+}
+
+/// One engine run's labelled outcome.
+#[derive(Debug, Clone)]
+pub struct OnlinePoint {
+    /// `"calm"` or `"churn"`.
+    pub scenario: &'static str,
+    /// `"ALP"` or `"AMP"`.
+    pub algo: &'static str,
+    /// The engine's aggregate report.
+    pub report: EngineReport,
+}
+
+/// Builds the engine configuration for one scenario of the experiment.
+#[must_use]
+pub fn engine_config(config: &OnlineConfig, churn: bool) -> EngineConfig {
+    EngineConfig {
+        cycles: config.cycles,
+        revocation: if churn {
+            RevocationConfig::per_slot(config.churn)
+        } else {
+            RevocationConfig::none()
+        },
+        arrivals: ArrivalConfig::Poisson {
+            mean_interarrival: config.mean_interarrival,
+            jobs: config.jobs,
+            job_gen: JobGenConfig::default(),
+        },
+        ..EngineConfig::default()
+    }
+}
+
+fn run_one(
+    config: &OnlineConfig,
+    scenario: &'static str,
+    algo: &'static str,
+    selector: impl SlotSelector + Copy,
+) -> OnlinePoint {
+    let engine = Engine::new(engine_config(config, scenario == "churn"), selector)
+        .expect("experiment configuration is valid");
+    let run = engine.run(config.seed).expect("engine run must not fail");
+    OnlinePoint {
+        scenario,
+        algo,
+        report: run.report,
+    }
+}
+
+/// Runs the full grid: (calm, churn) × (ALP, AMP), one seeded engine run
+/// each, all on the same seed.
+#[must_use]
+pub fn run_online(config: &OnlineConfig) -> Vec<OnlinePoint> {
+    vec![
+        run_one(config, "calm", "ALP", Alp::new()),
+        run_one(config, "calm", "AMP", Amp::new()),
+        run_one(config, "churn", "ALP", Alp::new()),
+        run_one(config, "churn", "AMP", Amp::new()),
+    ]
+}
+
+/// One legacy batch-cycle run's outcome, for contrast with the online
+/// rows (the closed batch has no clock, so wait/slowdown/utilization do
+/// not exist there).
+#[derive(Debug, Clone)]
+pub struct BatchPoint {
+    /// `"ALP"` or `"AMP"`.
+    pub algo: &'static str,
+    /// Jobs holding a window at cycle end, summed over cycles.
+    pub scheduled: u64,
+    /// Cycle-end postponements.
+    pub postponed: u64,
+    /// Lease-weighted mean per-job execution time.
+    pub avg_time: f64,
+    /// Lease-weighted mean per-job execution cost.
+    pub avg_cost: f64,
+}
+
+fn run_batch(
+    config: &OnlineConfig,
+    algo: &'static str,
+    selector: impl SlotSelector + Copy,
+) -> BatchPoint {
+    let meta = Metascheduler::new(
+        SlotGenConfig::default(),
+        JobGenConfig::default(),
+        IterationConfig::default(),
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let report = meta
+        .run(selector, config.cycles as usize, &mut rng)
+        .expect("batch simulation must not fail");
+    let mut out = BatchPoint {
+        algo,
+        scheduled: 0,
+        postponed: 0,
+        avg_time: 0.0,
+        avg_cost: 0.0,
+    };
+    let (mut time_sum, mut cost_sum) = (0.0, 0.0);
+    for c in &report.cycles {
+        out.scheduled += c.scheduled as u64;
+        out.postponed += c.postponed as u64;
+        time_sum += c.avg_time * c.scheduled as f64;
+        cost_sum += c.avg_cost * c.scheduled as f64;
+    }
+    if out.scheduled > 0 {
+        out.avg_time = time_sum / out.scheduled as f64;
+        out.avg_cost = cost_sum / out.scheduled as f64;
+    }
+    out
+}
+
+/// Runs the legacy batch-cycle baseline for both algorithms on the same
+/// seed.
+#[must_use]
+pub fn run_batch_baseline(config: &OnlineConfig) -> Vec<BatchPoint> {
+    vec![
+        run_batch(config, "ALP", Alp::new()),
+        run_batch(config, "AMP", Amp::new()),
+    ]
+}
+
+/// Renders the online grid as a table.
+#[must_use]
+pub fn online_table(points: &[OnlinePoint]) -> Table {
+    let mut table = Table::new(&[
+        "scenario",
+        "algo",
+        "arrived",
+        "scheduled",
+        "completed",
+        "backlog",
+        "mean_wait",
+        "slowdown",
+        "util",
+        "broken",
+        "failover",
+        "repaired",
+        "repost",
+    ]);
+    for p in points {
+        let r = &p.report;
+        table.row(&[
+            p.scenario.to_string(),
+            p.algo.to_string(),
+            r.jobs_arrived.to_string(),
+            r.jobs_scheduled.to_string(),
+            r.jobs_completed.to_string(),
+            r.backlog.to_string(),
+            f2(r.mean_wait),
+            f2(r.mean_bounded_slowdown),
+            f2(r.utilization),
+            r.leases_broken.to_string(),
+            r.failovers.to_string(),
+            r.repairs.to_string(),
+            r.repostponed.to_string(),
+        ]);
+    }
+    table
+}
+
+/// Renders the legacy baseline as a table.
+#[must_use]
+pub fn batch_table(points: &[BatchPoint]) -> Table {
+    let mut table = Table::new(&["algo", "scheduled", "postponed", "avg_time", "avg_cost"]);
+    for p in points {
+        table.row(&[
+            p.algo.to_string(),
+            p.scheduled.to_string(),
+            p.postponed.to_string(),
+            f2(p.avg_time),
+            f2(p.avg_cost),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> OnlineConfig {
+        OnlineConfig {
+            cycles: 4,
+            jobs: 16,
+            ..OnlineConfig::default()
+        }
+    }
+
+    #[test]
+    fn grid_covers_both_scenarios_and_algorithms() {
+        let points = run_online(&small());
+        assert_eq!(points.len(), 4);
+        for p in &points {
+            assert_eq!(p.report.jobs_arrived, 16);
+            assert!(p.report.jobs_scheduled > 0, "{}/{}", p.scenario, p.algo);
+        }
+        // Churn scenarios must actually inject faults.
+        assert!(points
+            .iter()
+            .filter(|p| p.scenario == "churn")
+            .all(|p| p.report.revocations > 0));
+        // Calm scenarios must not.
+        assert!(points
+            .iter()
+            .filter(|p| p.scenario == "calm")
+            .all(|p| p.report.revocations == 0));
+    }
+
+    #[test]
+    fn online_runs_are_reproducible() {
+        let a = run_online(&small());
+        let b = run_online(&small());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.report.log_hash, y.report.log_hash);
+            assert_eq!(x.report.to_json(), y.report.to_json());
+        }
+    }
+
+    #[test]
+    fn baseline_schedules_jobs() {
+        let points = run_batch_baseline(&small());
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(p.scheduled > 0);
+        }
+    }
+
+    #[test]
+    fn tables_have_one_row_per_point() {
+        let config = small();
+        let online = run_online(&config);
+        assert_eq!(
+            online_table(&online).render().lines().count(),
+            2 + online.len()
+        );
+        let batch = run_batch_baseline(&config);
+        assert_eq!(
+            batch_table(&batch).render().lines().count(),
+            2 + batch.len()
+        );
+    }
+}

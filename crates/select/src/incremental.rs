@@ -84,16 +84,128 @@ impl AlgoSpec {
     }
 }
 
-/// AMP's cost-ordered candidate pool.
+/// The pool size at which AMP's candidate pool switches from the flat
+/// vector to the cost-ordered tree representation.
 ///
-/// Members are split into a `head` of the `n` cheapest by `(cost, id)` —
-/// the exact DESIGN.md R5 tie-break the naive implementation sorts by —
-/// and a `tail` of everything else, with a running sum of the head. One
-/// insertion, removal, or expiry costs `O(log m)`, and the acceptance test
-/// (`head` full and within budget) is `O(1)` instead of the naive
-/// `O(p log p)` sort of the whole pool.
+/// The paper-scale lists (`m ∈ [120, 150]`) produce pools of a few dozen
+/// members, where the tree's per-operation pointer chasing and the
+/// four-structure bookkeeping cost ~2× the flat vector's memmove (the
+/// ROADMAP small-pool item, measured by the `find_window_amp` bench).
+/// Pools only cross this threshold on large lists with slow-expiring
+/// slots — exactly where the tree's `O(log m)` operations win.
+const SMALL_POOL_MAX: usize = 128;
+
+/// AMP's cost-ordered candidate pool, with an adaptive representation.
+///
+/// Below [`SMALL_POOL_MAX`] members the pool is a flat vector sorted by
+/// `(cost, id)` — the exact DESIGN.md R5 tie-break — where insertion is a
+/// binary search plus memmove and acceptance reads the first `n` members.
+/// Above the threshold it promotes (one way) to [`LargeCostPool`], which
+/// splits members into a `head` of the `n` cheapest and a `tail` of
+/// everything else with a running head sum, making every operation
+/// `O(log m)`. Both representations accept byte-identically: the same
+/// `n` cheapest members in `(cost, id)` order under the same budget test.
 #[derive(Debug)]
 struct CostPool {
+    n: usize,
+    repr: CostRepr,
+}
+
+#[derive(Debug)]
+enum CostRepr {
+    /// Members sorted by `(cost, id)`; acceptance reads the prefix.
+    Small(Vec<PoolMember>),
+    /// Head/tail trees with a running head sum.
+    Large(LargeCostPool),
+}
+
+impl CostPool {
+    fn new(n: usize) -> Self {
+        CostPool {
+            n,
+            repr: CostRepr::Small(Vec::new()),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match &self.repr {
+            CostRepr::Small(members) => members.len(),
+            CostRepr::Large(pool) => pool.len(),
+        }
+    }
+
+    fn insert(&mut self, member: PoolMember) {
+        match &mut self.repr {
+            CostRepr::Small(members) => {
+                let key = (member.cost(), member.slot.id());
+                let pos = members.partition_point(|m| (m.cost(), m.slot.id()) < key);
+                members.insert(pos, member);
+                if members.len() > SMALL_POOL_MAX {
+                    let mut pool = LargeCostPool::new(self.n);
+                    for member in members.drain(..) {
+                        pool.insert(member);
+                    }
+                    self.repr = CostRepr::Large(pool);
+                }
+            }
+            CostRepr::Large(pool) => pool.insert(member),
+        }
+    }
+
+    fn remove(&mut self, id: SlotId) -> bool {
+        match &mut self.repr {
+            CostRepr::Small(members) => match members.iter().position(|m| m.slot.id() == id) {
+                Some(pos) => {
+                    members.remove(pos);
+                    true
+                }
+                None => false,
+            },
+            CostRepr::Large(pool) => pool.remove(id),
+        }
+    }
+
+    /// Expires every member no longer live at `anchor`; returns the count.
+    fn advance(&mut self, anchor: TimePoint) -> u64 {
+        match &mut self.repr {
+            CostRepr::Small(members) => {
+                let before = members.len();
+                members.retain(|m| m.live_at(anchor));
+                (before - members.len()) as u64
+            }
+            CostRepr::Large(pool) => pool.advance(anchor),
+        }
+    }
+
+    /// The `n` cheapest members in `(cost, id)` order iff the pool holds
+    /// at least `n` and they fit `budget` — byte-identical to the naive
+    /// sort-and-take in both representations.
+    fn accept(&self, budget: Money) -> Option<Vec<PoolMember>> {
+        match &self.repr {
+            CostRepr::Small(members) => {
+                if members.len() < self.n {
+                    return None;
+                }
+                let sum: Money = members[..self.n].iter().map(PoolMember::cost).sum();
+                if sum <= budget {
+                    Some(members[..self.n].to_vec())
+                } else {
+                    None
+                }
+            }
+            CostRepr::Large(pool) => pool.accept(budget),
+        }
+    }
+}
+
+/// The tree representation of [`CostPool`], used above [`SMALL_POOL_MAX`]:
+/// a `head` of the `n` cheapest by `(cost, id)` and a `tail` of everything
+/// else, with a running sum of the head. One insertion, removal, or expiry
+/// costs `O(log m)`, and the acceptance test (`head` full and within
+/// budget) is `O(1)` instead of the naive `O(p log p)` sort of the whole
+/// pool.
+#[derive(Debug)]
+struct LargeCostPool {
     n: usize,
     head: BTreeSet<(Money, SlotId)>,
     head_sum: Money,
@@ -104,9 +216,9 @@ struct CostPool {
     members: HashMap<SlotId, PoolMember>,
 }
 
-impl CostPool {
+impl LargeCostPool {
     fn new(n: usize) -> Self {
-        CostPool {
+        LargeCostPool {
             n,
             head: BTreeSet::new(),
             head_sum: Money::ZERO,
@@ -193,7 +305,8 @@ enum AcceptPool {
     /// Acceptance takes the first `n`. The pool never exceeds `n − 1`
     /// members between groups, so a plain vector is the right structure.
     Ordered(Vec<PoolMember>),
-    /// AMP: cost-ordered head/tail with a running head sum.
+    /// AMP: cost-ordered pool with an adaptive representation (flat
+    /// vector below [`SMALL_POOL_MAX`] members, head/tail trees above).
     Cost(CostPool),
 }
 
@@ -590,6 +703,60 @@ mod tests {
         assert_eq!(pool.advance(TimePoint::new(41)), 1);
         assert_eq!(pool.len(), 1);
         assert!(pool.accept(Money::from_credits(100)).is_none()); // head short
+    }
+
+    #[test]
+    fn cost_pool_starts_small_and_promotes_once() {
+        let mut pool = CostPool::new(3);
+        for i in 0..SMALL_POOL_MAX as u64 {
+            pool.insert(member(i, 1 + (i % 7) as i64, 0, 10_000, 10));
+        }
+        assert!(matches!(pool.repr, CostRepr::Small(_)));
+        pool.insert(member(SMALL_POOL_MAX as u64, 1, 0, 10_000, 10));
+        assert!(matches!(pool.repr, CostRepr::Large(_)));
+        // Promotion is one-way: shrinking below the threshold stays Large.
+        for i in 0..=SMALL_POOL_MAX as u64 {
+            pool.remove(SlotId::new(i));
+        }
+        assert_eq!(pool.len(), 0);
+        assert!(matches!(pool.repr, CostRepr::Large(_)));
+    }
+
+    #[test]
+    fn small_and_large_representations_accept_identically() {
+        // Drive the same member sequence through a pool that stays small
+        // and one forced across the threshold; acceptance must agree on
+        // membership, order, and budget behaviour at every step.
+        let members: Vec<PoolMember> = (0..40u64)
+            .map(|i| member(i, 1 + ((i * 13) % 11) as i64, 0, 10_000, 10))
+            .collect();
+        let mut small = CostPool::new(4);
+        let mut large = CostPool::new(4);
+        // Force the tree representation up front.
+        large.repr = CostRepr::Large(LargeCostPool::new(4));
+        for (step, m) in members.iter().enumerate() {
+            small.insert(*m);
+            large.insert(*m);
+            if step % 5 == 0 {
+                let victim = SlotId::new((step as u64 * 7) % (step as u64 + 1));
+                assert_eq!(small.remove(victim), large.remove(victim));
+            }
+            for budget in [10, 40, 400] {
+                let budget = Money::from_credits(budget);
+                let a = small.accept(budget);
+                let b = large.accept(budget);
+                match (&a, &b) {
+                    (Some(x), Some(y)) => {
+                        let xi: Vec<u64> = x.iter().map(|m| m.slot.id().raw()).collect();
+                        let yi: Vec<u64> = y.iter().map(|m| m.slot.id().raw()).collect();
+                        assert_eq!(xi, yi, "divergent acceptance at step {step}");
+                    }
+                    (None, None) => {}
+                    _ => panic!("representations disagree at step {step}: {a:?} vs {b:?}"),
+                }
+            }
+        }
+        assert!(matches!(small.repr, CostRepr::Small(_)));
     }
 
     #[test]

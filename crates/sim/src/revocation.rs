@@ -26,7 +26,7 @@
 
 use std::collections::BTreeSet;
 
-use ecosched_core::{Revocation, RevocationReason, SlotList};
+use ecosched_core::{Lease, Revocation, RevocationReason, Slot, SlotList};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -202,6 +202,53 @@ impl RevocationModel {
         }
 
         revocations
+    }
+
+    /// Draws revocations against the **live** execution state: the vacant
+    /// `list` plus the regions currently held by `leases`.
+    ///
+    /// The batch-cycle path ([`RevocationModel::draw`]) samples the
+    /// published list only, so faults can never land on time the repair
+    /// tiers have since carved out — a known blind spot (ROADMAP). The
+    /// discrete-event engine strikes *mid-cycle*, when committed leases
+    /// (including repair-carved replacements) are part of the owners'
+    /// exposed surface, so its sampling domain is the union of the vacant
+    /// slots and every active lease's used regions. Lease regions are
+    /// disjoint from the vacant list by construction (commitment subtracts
+    /// them), so the union is a valid slot list.
+    ///
+    /// The fault processes and their RNG draw order are identical to
+    /// [`RevocationModel::draw`]; with no active leases the two produce
+    /// the same revocations, and a disabled model still returns an empty
+    /// vector without touching `rng` — the legacy byte-stability guarantee
+    /// is unaffected because the metascheduler keeps calling `draw`.
+    pub fn draw_live<R: Rng + ?Sized>(
+        &self,
+        list: &SlotList,
+        leases: &[Lease],
+        rng: &mut R,
+    ) -> Vec<Revocation> {
+        if !self.config.is_enabled() {
+            return Vec::new();
+        }
+        let mut domain = list.clone();
+        for lease in leases {
+            for ws in lease.window.slots() {
+                let id = domain.mint_id();
+                let slot = Slot::new(
+                    id,
+                    ws.node(),
+                    ws.perf(),
+                    ws.price(),
+                    lease.window.used_span(ws),
+                )
+                .expect("lease members have positive runtimes");
+                domain
+                    .insert(slot)
+                    .expect("lease regions are disjoint from the vacant list");
+            }
+        }
+        self.draw(&domain, rng)
     }
 }
 
@@ -391,6 +438,72 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), before, "a slot was revoked twice");
+    }
+
+    fn lease_over(node: u32, a: i64, b: i64, price: i64) -> Lease {
+        use ecosched_core::{JobId, TimeDelta, Window, WindowSlot};
+        let member = WindowSlot::from_slot(
+            &Slot::new(
+                SlotId::new(900 + u64::from(node)),
+                NodeId::new(node),
+                Perf::UNIT,
+                Price::from_credits(price),
+                Span::new(TimePoint::new(a), TimePoint::new(b)).unwrap(),
+            )
+            .unwrap(),
+            TimeDelta::new(b - a),
+        )
+        .unwrap();
+        Lease::planned(
+            JobId::new(0),
+            Window::new(TimePoint::new(a), vec![member]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn live_draw_can_strike_lease_held_regions() {
+        // The vacant list covers nodes 0..20; the lease holds carved-out
+        // time on node 99 that `draw` could never sample.
+        let model = RevocationModel::new(RevocationConfig::per_slot(1.0));
+        let leases = vec![lease_over(99, 200, 260, 3)];
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let revocations = model.draw_live(&list(20), &leases, &mut rng);
+        assert_eq!(revocations.len(), 21, "every vacant slot plus the lease");
+        let hit = revocations
+            .iter()
+            .find(|r| r.node == NodeId::new(99))
+            .expect("the lease region is part of the sampling domain");
+        assert_eq!(
+            hit.span,
+            Span::new(TimePoint::new(200), TimePoint::new(260)).unwrap()
+        );
+        assert!(leases[0].broken_by(hit));
+    }
+
+    #[test]
+    fn live_draw_without_leases_matches_the_legacy_draw() {
+        let model = RevocationModel::new(RevocationConfig {
+            per_slot: 0.3,
+            price_burst: 0.5,
+            burst_fraction: 0.2,
+            ..RevocationConfig::none()
+        });
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        let mut b = ChaCha8Rng::seed_from_u64(9);
+        assert_eq!(
+            model.draw_live(&list(30), &[], &mut a),
+            model.draw(&list(30), &mut b)
+        );
+    }
+
+    #[test]
+    fn disabled_live_draw_touches_no_rng() {
+        let model = RevocationModel::new(RevocationConfig::none());
+        let leases = vec![lease_over(5, 0, 40, 2)];
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        assert!(model.draw_live(&list(10), &leases, &mut rng).is_empty());
+        let mut fresh = ChaCha8Rng::seed_from_u64(10);
+        assert_eq!(rng.next_u64(), fresh.next_u64());
     }
 
     #[test]

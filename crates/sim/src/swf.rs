@@ -32,6 +32,32 @@ pub struct SwfJob {
     pub requested_time: i64,
 }
 
+impl SwfJob {
+    /// Renders the job as one standard 18-field SWF line, `-1` for every
+    /// field this crate does not consume. [`parse_swf`] reads the line
+    /// back to an identical [`SwfJob`].
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        format!(
+            "{} {} -1 {} {} -1 -1 {} {} -1 -1 -1 -1 -1 -1 -1 -1 -1",
+            self.id, self.submit, self.run_time, self.procs, self.procs, self.requested_time
+        )
+    }
+}
+
+/// Renders jobs as SWF text (a header comment plus one line per job).
+/// `parse_swf(&write_swf(&jobs))` returns the same jobs — the round-trip
+/// contract the fixture test pins down.
+#[must_use]
+pub fn write_swf(jobs: &[SwfJob]) -> String {
+    let mut out = String::from("; SWF written by ecosched-sim\n");
+    for job in jobs {
+        out.push_str(&job.to_line());
+        out.push('\n');
+    }
+    out
+}
+
 /// Errors raised while parsing SWF text.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseSwfError {
@@ -51,9 +77,15 @@ impl Error for ParseSwfError {}
 
 /// Parses SWF text into trace jobs.
 ///
-/// Comment lines (starting with `;`) and blank lines are skipped. Jobs
-/// with non-positive processor counts or times (failed/cancelled entries)
-/// are silently dropped, as is conventional when replaying traces.
+/// Comment lines (starting with `;`) and blank lines are skipped, and a
+/// trailing `; comment` after the data fields is stripped — both forms
+/// appear in archive headers and hand-annotated traces. CRLF line endings
+/// are tolerated (the trailing `\r` is trimmed with the surrounding
+/// whitespace). A `-1` sentinel in the submit-time field (seen in
+/// anonymized traces) is clamped to `0`; `-1` sentinels in the processor
+/// and time fields engage the documented fallbacks. Jobs with non-positive
+/// processor counts or times (failed/cancelled entries) are silently
+/// dropped, as is conventional when replaying traces.
 ///
 /// # Errors
 ///
@@ -81,8 +113,11 @@ impl Error for ParseSwfError {}
 pub fn parse_swf(text: &str) -> Result<Vec<SwfJob>, ParseSwfError> {
     let mut jobs = Vec::new();
     for (index, raw) in text.lines().enumerate() {
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with(';') {
+        // Strip a trailing comment first: this also handles whole-line
+        // comments and leaves CRLF remnants to the trim.
+        let data = raw.find(';').map_or(raw, |pos| &raw[..pos]);
+        let line = data.trim();
+        if line.is_empty() {
             continue;
         }
         let fields: Vec<&str> = line.split_whitespace().collect();
@@ -99,7 +134,9 @@ pub fn parse_swf(text: &str) -> Result<Vec<SwfJob>, ParseSwfError> {
             })
         };
         let id = parse(0)?;
-        let submit = parse(1)?;
+        // `-1` marks an unknown submit time in anonymized traces; treat it
+        // as the trace epoch rather than dropping the job.
+        let submit = parse(1)?.max(0);
         let run_time = parse(3)?;
         let allocated = parse(4)?;
         let requested_procs = parse(7)?;
@@ -254,6 +291,32 @@ mod tests {
         let err = parse_swf("; ok\n1 0 5 x 4 -1 -1 4 3600\n").unwrap_err();
         assert_eq!(err.line, 2);
         assert!(format!("{err}").contains("line 2"));
+    }
+
+    #[test]
+    fn tolerates_crlf_trailing_comments_and_sentinels() {
+        // CRLF endings, an inline trailing comment, and a -1 submit
+        // sentinel — all three hardening cases on one trace.
+        let text = "; header\r\n1 -1 5 3600 4 -1 -1 4 3600 -1 1 1 1 1 1 1 -1 -1 ; first\r\n\r\n2 30 5 1800 2 -1 -1 2 2400 -1 1 1 1 1 1 1 -1 -1\r\n";
+        let jobs = parse_swf(text).unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].submit, 0, "-1 submit clamps to the trace epoch");
+        assert_eq!(jobs[0].procs, 4);
+        assert_eq!(jobs[1].submit, 30);
+        // A line that is only a comment after stripping is skipped, not a
+        // field-count error.
+        assert!(parse_swf("  ; indented comment\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn write_swf_round_trips() {
+        let jobs = parse_swf(SAMPLE).unwrap();
+        let text = write_swf(&jobs);
+        assert_eq!(parse_swf(&text).unwrap(), jobs);
+        // Every emitted line is a full 18-field SWF record.
+        for line in text.lines().filter(|l| !l.starts_with(';')) {
+            assert_eq!(line.split_whitespace().count(), 18);
+        }
     }
 
     #[test]
