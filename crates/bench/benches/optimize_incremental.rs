@@ -1,0 +1,199 @@
+//! Bench: the incremental combination optimizer against the retained
+//! from-scratch oracle — cold first solves, warm re-queries at shifted
+//! limits, warm re-solves after a front-of-batch mutation, and Pareto
+//! re-queries at a shifted `B*`.
+//!
+//! Committed medians live in `BENCH_optimize.json`; refresh them with
+//!
+//! ```sh
+//! ECOSCHED_BENCH_REPORT=BENCH_optimize.json \
+//!     cargo bench -p ecosched-bench --bench optimize_incremental
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecosched_core::{
+    Alternative, JobAlternatives, JobId, Money, NodeId, Perf, Price, Slot, SlotId, Span, TimeDelta,
+    TimePoint, Window, WindowSlot,
+};
+use ecosched_optimize::{min_cost_under_time_naive, IncrementalOptimizer, ParetoFrontier};
+use std::hint::black_box;
+
+/// Deterministic splitmix64 — the bench needs repeatable tables, not
+/// statistical quality.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// An alternative with exact integer-credit cost and tick time (a
+/// zero-price slot fixes the length, a unit-tick slot fixes the cost).
+fn alternative(job: u32, cost_credits: i64, time: i64) -> Alternative {
+    let length_slot = Slot::new(
+        SlotId::new(0),
+        NodeId::new(0),
+        Perf::UNIT,
+        Price::ZERO,
+        Span::new(TimePoint::ZERO, TimePoint::new(1_000_000)).unwrap(),
+    )
+    .unwrap();
+    let cost_slot = Slot::new(
+        SlotId::new(1),
+        NodeId::new(1),
+        Perf::UNIT,
+        Price::from_credits(cost_credits),
+        Span::new(TimePoint::ZERO, TimePoint::new(1_000_000)).unwrap(),
+    )
+    .unwrap();
+    let window = Window::new(
+        TimePoint::ZERO,
+        vec![
+            WindowSlot::from_slot(&length_slot, TimeDelta::new(time)).unwrap(),
+            WindowSlot::from_slot(&cost_slot, TimeDelta::new(1)).unwrap(),
+        ],
+    )
+    .unwrap();
+    Alternative::new(JobId::new(job), window)
+}
+
+/// A synthetic batch: `jobs` jobs with 4 alternatives each, costs in
+/// `1..=30` credits and times in `1..=12` ticks (small times keep the DP
+/// width proportional to the batch, as the paper's quotas do).
+fn synth_table(jobs: usize, seed: u64) -> Vec<JobAlternatives> {
+    let mut state = seed;
+    (0..jobs)
+        .map(|i| {
+            let mut ja = JobAlternatives::new(JobId::new(i as u32));
+            for _ in 0..4 {
+                let cost = 1 + (splitmix(&mut state) % 30) as i64;
+                let time = 1 + (splitmix(&mut state) % 12) as i64;
+                ja.push(alternative(i as u32, cost, time));
+            }
+            ja
+        })
+        .collect()
+}
+
+/// A feasible `T*`: the sum of per-job fastest times plus one tick of
+/// slack per job, so limit-shift variants stay feasible too.
+fn quota_for(table: &[JobAlternatives]) -> TimeDelta {
+    let floor: i64 = table
+        .iter()
+        .map(|ja| {
+            ja.alternatives()
+                .iter()
+                .map(|a| a.window().length().ticks())
+                .min()
+                .unwrap()
+        })
+        .sum();
+    TimeDelta::new(floor + table.len() as i64)
+}
+
+/// Swaps job 0's alternatives for a fresh draw: the front-of-batch
+/// mutation that forces a one-row prefix patch while the whole suffix
+/// stays reusable.
+fn mutate_front(table: &[JobAlternatives], seed: u64) -> Vec<JobAlternatives> {
+    let mut mutated = table.to_vec();
+    let mut state = seed;
+    let mut ja = JobAlternatives::new(JobId::new(0));
+    for _ in 0..4 {
+        let cost = 1 + (splitmix(&mut state) % 30) as i64;
+        let time = 1 + (splitmix(&mut state) % 12) as i64;
+        ja.push(alternative(0, cost, time));
+    }
+    mutated[0] = ja;
+    mutated
+}
+
+fn bench_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimize_incremental");
+    for jobs in [50usize, 200, 800] {
+        let table = synth_table(jobs, jobs as u64);
+        let patched = mutate_front(&table, 0x5eed + jobs as u64);
+        let quota = quota_for(&table);
+        let shifted = TimeDelta::new(quota.ticks() - 1);
+
+        group.bench_with_input(BenchmarkId::new("naive_rebuild", jobs), &jobs, |b, _| {
+            b.iter(|| black_box(min_cost_under_time_naive(black_box(&table), quota)));
+        });
+
+        group.bench_with_input(BenchmarkId::new("cold_first_solve", jobs), &jobs, |b, _| {
+            b.iter(|| {
+                let mut optimizer = IncrementalOptimizer::new();
+                black_box(optimizer.min_cost_under_time(black_box(&table), quota))
+            });
+        });
+
+        // Warm re-query: the rows are resident, only the capacity read
+        // point moves — the case every `ParetoFrontier`-style limit sweep
+        // and repeated VO-limit evaluation hits.
+        group.bench_with_input(BenchmarkId::new("warm_limit_shift", jobs), &jobs, |b, _| {
+            let mut optimizer = IncrementalOptimizer::new();
+            optimizer.min_cost_under_time(&table, quota).unwrap();
+            let mut flip = false;
+            b.iter(|| {
+                flip = !flip;
+                let q = if flip { shifted } else { quota };
+                black_box(optimizer.min_cost_under_time(black_box(&table), q))
+            });
+        });
+
+        // Warm re-solve after a front-of-batch mutation: one row rebuilt,
+        // `jobs - 1` suffix rows reused — the engine's cycle-to-cycle
+        // shape when one job leaves or changes.
+        group.bench_with_input(BenchmarkId::new("warm_front_patch", jobs), &jobs, |b, _| {
+            let mut optimizer = IncrementalOptimizer::new();
+            optimizer.min_cost_under_time(&table, quota).unwrap();
+            let mut flip = false;
+            b.iter(|| {
+                flip = !flip;
+                let t = if flip { &patched } else { &table };
+                black_box(optimizer.min_cost_under_time(black_box(t), quota))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pareto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimize_incremental_pareto");
+    let jobs = 50usize;
+    let table = synth_table(jobs, jobs as u64);
+    // The cheapest feasible spend, so every shifted budget stays feasible.
+    let floor = min_cost_under_time_naive(&table, quota_for(&table))
+        .unwrap()
+        .total_cost();
+    let budgets: Vec<Money> = (0..8)
+        .map(|i| Money::from_credits(floor.to_f64() as i64 + 1 + i))
+        .collect();
+
+    group.bench_function("fresh_requery_shifted_budget", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            let budget = budgets[i % budgets.len()];
+            let frontier = ParetoFrontier::new(black_box(&table)).unwrap();
+            black_box(frontier.min_time_under_budget(budget))
+        });
+    });
+
+    group.bench_function("warm_requery_shifted_budget", |b| {
+        let mut optimizer = IncrementalOptimizer::new();
+        optimizer
+            .pareto_min_time_under_budget(&table, budgets[0])
+            .unwrap();
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            let budget = budgets[i % budgets.len()];
+            black_box(optimizer.pareto_min_time_under_budget(black_box(&table), budget))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dp, bench_pareto);
+criterion_main!(benches);

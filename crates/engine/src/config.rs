@@ -83,6 +83,13 @@ pub struct EngineConfig {
     /// The scheduling pipeline configuration (criterion, optimizer,
     /// search mode).
     pub iteration: IterationConfig,
+    /// Whether cycles share one incremental optimizer (the dynamic
+    /// programming row cache) across the run. Outcome-invisible by
+    /// construction — cache-on and cache-off runs commit the same leases
+    /// and log the same events; only the work counters in
+    /// [`ecosched_optimize::OptStats`] differ. The flag exists as an A/B
+    /// switch for the determinism tests and benchmarks.
+    pub optimizer_cache: bool,
     /// Number of virtual organisations; arriving jobs are assigned
     /// round-robin and per-VO spend is tracked.
     pub vos: u32,
@@ -109,6 +116,7 @@ impl Default for EngineConfig {
             revocation: RevocationConfig::none(),
             repair: RepairPolicy::default(),
             iteration: IterationConfig::default(),
+            optimizer_cache: true,
             vos: 3,
             completion_fraction: 0.75,
             slowdown_tau: 10,

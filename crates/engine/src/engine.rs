@@ -30,10 +30,12 @@ use ecosched_core::{
     Batch, Job, JobId, Lease, NodeId, ResourceRequest, Slot, SlotList, Span, TimeDelta, TimePoint,
     Window,
 };
+use ecosched_optimize::IncrementalOptimizer;
 use ecosched_select::{repair_search, try_adopt_window, ScanStats, SlotSelector};
 use ecosched_sim::swf::batch_from_swf;
 use ecosched_sim::{
-    run_iteration, ConfigError, IterationError, JobGenerator, RevocationModel, SlotGenerator,
+    run_iteration, run_iteration_cached, ConfigError, IterationError, JobGenerator,
+    RevocationModel, SlotGenerator,
 };
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -181,6 +183,11 @@ impl<S: SlotSelector + Copy> Engine<S> {
         let mut pending: Vec<PendingJob> = Vec::new();
         let mut leases: BTreeMap<u64, ActiveLease> = BTreeMap::new();
         let mut next_lease: u64 = 0;
+        // One optimizer for the whole run: cycle N+1 reuses the dynamic
+        // programming rows cycle N left behind wherever the batch suffix
+        // is unchanged. With `optimizer_cache` off every tick solves from
+        // scratch instead; both paths commit identical leases.
+        let mut optimizer = IncrementalOptimizer::new();
         let mut report = EngineReport {
             vo_spend: vec![0.0; self.config.vos as usize],
             ..EngineReport::default()
@@ -263,8 +270,18 @@ impl<S: SlotSelector + Copy> Engine<S> {
                         .map(|(i, p)| Job::new(JobId::new(i as u32), p.request))
                         .collect();
                     let batch = Batch::from_jobs(jobs).expect("re-keyed ids are unique");
-                    let result =
-                        run_iteration(self.selector, &market, &batch, &self.config.iteration)?;
+                    let result = if self.config.optimizer_cache {
+                        run_iteration_cached(
+                            self.selector,
+                            &market,
+                            &batch,
+                            &self.config.iteration,
+                            &mut optimizer,
+                        )?
+                    } else {
+                        run_iteration(self.selector, &market, &batch, &self.config.iteration)?
+                    };
+                    report.opt.merge(&result.opt);
                     let per_job = result.search.alternatives.per_job();
 
                     let mut chosen: Vec<Option<usize>> = vec![None; batch.len()];

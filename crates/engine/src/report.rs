@@ -1,5 +1,6 @@
 //! Time-series metrics emitted by an engine run.
 
+use ecosched_optimize::OptStats;
 use serde::{Deserialize, Serialize};
 
 /// One scheduling cycle's snapshot of the online system.
@@ -66,6 +67,12 @@ pub struct EngineReport {
     pub stale_completions: u64,
     /// Events processed before the queue drained.
     pub event_count: u64,
+    /// Combination-optimizer work counters summed over all cycle ticks
+    /// (solves, dynamic-programming rows reused/rebuilt, cache residency
+    /// high-water). Differs between cache-on and cache-off runs of the
+    /// same seed; every other field — including [`Self::log_hash`] — is
+    /// identical.
+    pub opt: OptStats,
     /// FNV-1a 64 fingerprint of the serialized event log (16 hex digits).
     pub log_hash: String,
 }

@@ -3,6 +3,7 @@
 //! byte-identical serialized event logs and reports.
 
 use ecosched_engine::{ArrivalConfig, Engine, EngineConfig, Event};
+use ecosched_optimize::OptStats;
 use ecosched_select::{Alp, Amp};
 use ecosched_sim::swf::{parse_swf, SwfImportConfig};
 use ecosched_sim::{JobGenConfig, RevocationConfig};
@@ -92,6 +93,56 @@ fn trace_replay_is_deterministic() {
     assert_eq!(a.report.to_json(), b.report.to_json());
     assert_eq!(a.report.jobs_arrived, 4);
     assert!(a.report.jobs_scheduled > 0);
+}
+
+/// Runs the same seed with and without the incremental-optimizer cache
+/// and asserts the scheduling outcome is byte-identical: same event log,
+/// same report once the (legitimately differing) work counters are
+/// zeroed out.
+fn assert_cache_invisible(config: EngineConfig, seed: u64) -> (OptStats, OptStats) {
+    let cached = Engine::new(config.clone(), Amp::new()).unwrap();
+    let uncached = Engine::new(
+        EngineConfig {
+            optimizer_cache: false,
+            ..config
+        },
+        Amp::new(),
+    )
+    .unwrap();
+    let a = cached.run(seed).unwrap();
+    let b = uncached.run(seed).unwrap();
+    assert_eq!(a.log.to_json(), b.log.to_json());
+    assert_eq!(a.log.fnv1a_hash(), b.log.fnv1a_hash());
+    let mut ra = a.report.clone();
+    let mut rb = b.report.clone();
+    let (opt_on, opt_off) = (ra.opt, rb.opt);
+    ra.opt = OptStats::default();
+    rb.opt = OptStats::default();
+    assert_eq!(ra.to_json(), rb.to_json());
+    (opt_on, opt_off)
+}
+
+#[test]
+fn optimizer_cache_is_outcome_invisible() {
+    let (opt_on, opt_off) = assert_cache_invisible(base_config(), 42);
+    assert!(opt_on.solves > 0, "cycles must exercise the optimizer");
+    assert_eq!(
+        opt_on.solves, opt_off.solves,
+        "both modes answer the same solve sequence"
+    );
+}
+
+#[test]
+fn optimizer_cache_is_outcome_invisible_under_churn() {
+    let (opt_on, opt_off) = assert_cache_invisible(churn_config(), 42);
+    assert_eq!(opt_on.solves, opt_off.solves);
+    assert!(
+        opt_on.rows_rebuilt <= opt_off.rows_rebuilt,
+        "the shared cache must never rebuild more rows than from-scratch \
+         solving ({} > {})",
+        opt_on.rows_rebuilt,
+        opt_off.rows_rebuilt
+    );
 }
 
 #[test]

@@ -13,8 +13,13 @@
 //!
 //! The VO limits come from [`time_quota`] (Eq. (2)) and [`vo_budget`]
 //! (Eq. (3)). All three solvers use the backward-run dynamic program of
-//! Eq. (1). Two reference implementations cross-check it: an exhaustive
-//! [`brute`] oracle and the exact [`ParetoFrontier`] sweep.
+//! Eq. (1), served by an incremental row cache: the free functions above
+//! are one-shot conveniences over [`IncrementalOptimizer`], which reuses
+//! unchanged suffix rows (and Pareto prefix layers) across repeated solves
+//! on mutating batches and shifting `B*`/`T*` limits, reporting its work
+//! in [`OptStats`]. Three reference implementations cross-check it: the
+//! retained from-scratch `*_naive` drivers, an exhaustive [`brute`]
+//! oracle, and the exact [`ParetoFrontier`] sweep.
 //!
 //! # Example
 //!
@@ -66,6 +71,7 @@ mod assignment;
 pub mod brute;
 mod dp;
 mod error;
+mod incremental;
 mod limits;
 mod pareto;
 #[cfg(test)]
@@ -73,8 +79,11 @@ mod test_support;
 mod vector;
 
 pub use assignment::{Assignment, Choice};
-pub use dp::{max_cost_under_time, min_cost_under_time, min_time_under_budget};
+pub use dp::{max_cost_under_time_naive, min_cost_under_time_naive, min_time_under_budget_naive};
 pub use error::OptimizeError;
+pub use incremental::{
+    max_cost_under_time, min_cost_under_time, min_time_under_budget, IncrementalOptimizer, OptStats,
+};
 pub use limits::{time_quota, vo_budget, vo_budget_with_quota};
 pub use pareto::{ParetoFrontier, DEFAULT_FRONTIER_CAP};
 pub use vector::{efficient_menu, pareto_optimal, VectorCriteria};

@@ -7,8 +7,8 @@
 
 use ecosched_core::{JobAlternatives, Money, TimeDelta};
 
-use crate::dp::max_cost_under_time;
 use crate::error::OptimizeError;
+use crate::incremental::max_cost_under_time;
 
 /// Computes the total slot-occupancy quota `T*` by Eq. (2):
 ///

@@ -14,15 +14,73 @@ use crate::assignment::Assignment;
 use crate::error::OptimizeError;
 
 /// One frontier point: cumulative measures plus backpointers for
-/// reconstruction.
+/// reconstruction. Shared with the [`crate::incremental`] frontier cache so
+/// cached layers are built by exactly the same code as from-scratch ones.
 #[derive(Debug, Clone, Copy)]
-struct Point {
-    cost: Money,
-    time: TimeDelta,
+pub(crate) struct Point {
+    pub(crate) cost: Money,
+    pub(crate) time: TimeDelta,
     /// Alternative index chosen for the layer's job.
-    alt: usize,
+    pub(crate) alt: usize,
     /// Index of the predecessor point in the previous layer.
-    parent: usize,
+    pub(crate) parent: usize,
+}
+
+/// The virtual layer before the first job: one zero point.
+pub(crate) fn seed_layer() -> Vec<Point> {
+    vec![Point {
+        cost: Money::ZERO,
+        time: TimeDelta::ZERO,
+        alt: usize::MAX,
+        parent: usize::MAX,
+    }]
+}
+
+/// Builds the next frontier layer: every (previous point × alternative)
+/// candidate, pruned down to the Pareto-optimal set.
+pub(crate) fn next_layer(previous: &[Point], ja: &JobAlternatives) -> Vec<Point> {
+    let mut candidates: Vec<Point> = Vec::with_capacity(previous.len() * ja.len());
+    for (parent, prev) in previous.iter().enumerate() {
+        for (alt, a) in ja.iter().enumerate() {
+            candidates.push(Point {
+                cost: prev.cost + a.cost(),
+                time: prev.time + a.time(),
+                alt,
+                parent,
+            });
+        }
+    }
+    prune(candidates)
+}
+
+/// Index of the time-minimal point within `budget`, if any.
+pub(crate) fn best_under_budget(last: &[Point], budget: Money) -> Option<usize> {
+    last.iter()
+        .enumerate()
+        .filter(|(_, p)| p.cost <= budget)
+        .min_by_key(|(_, p)| (p.time, p.cost))
+        .map(|(i, _)| i)
+}
+
+/// Index of the cost-minimal point within `quota`, if any.
+pub(crate) fn best_under_quota(last: &[Point], quota: TimeDelta) -> Option<usize> {
+    last.iter()
+        .enumerate()
+        .filter(|(_, p)| p.time <= quota)
+        .min_by_key(|(_, p)| (p.cost, p.time))
+        .map(|(i, _)| i)
+}
+
+/// Walks backpointers from `index` in the last layer down to the first,
+/// yielding one alternative index per job.
+pub(crate) fn reconstruct_indices(layers: &[&[Point]], mut index: usize) -> Vec<usize> {
+    let mut indices = vec![0usize; layers.len()];
+    for (i, layer) in layers.iter().enumerate().rev() {
+        let point = layer[index];
+        indices[i] = point.alt;
+        index = point.parent;
+    }
+    indices
 }
 
 /// The layered Pareto frontier over a batch's alternatives.
@@ -56,39 +114,12 @@ impl<'a> ParetoFrontier<'a> {
         alternatives: &'a [JobAlternatives],
         cap: usize,
     ) -> Result<Self, OptimizeError> {
-        if alternatives.is_empty() {
-            return Err(OptimizeError::EmptyBatch);
-        }
-        for ja in alternatives {
-            if ja.is_empty() {
-                return Err(OptimizeError::NoAlternatives { job: ja.job() });
-            }
-        }
+        crate::dp::validate(alternatives)?;
         let mut layers: Vec<Vec<Point>> = Vec::with_capacity(alternatives.len());
-        let mut previous: Vec<Point> = vec![Point {
-            cost: Money::ZERO,
-            time: TimeDelta::ZERO,
-            alt: usize::MAX,
-            parent: usize::MAX,
-        }];
+        let mut previous: Vec<Point> = seed_layer();
         for ja in alternatives {
-            let mut candidates: Vec<Point> = Vec::with_capacity(previous.len() * ja.len());
-            for (parent, prev) in previous.iter().enumerate() {
-                for (alt, a) in ja.iter().enumerate() {
-                    candidates.push(Point {
-                        cost: prev.cost + a.cost(),
-                        time: prev.time + a.time(),
-                        alt,
-                        parent,
-                    });
-                }
-            }
-            let frontier = prune(candidates);
-            if frontier.len() > cap {
-                return Err(OptimizeError::InvalidParameter {
-                    reason: format!("Pareto frontier exceeded cap ({} > {cap})", frontier.len()),
-                });
-            }
+            let frontier = next_layer(&previous, ja);
+            check_cap(frontier.len(), cap)?;
             layers.push(frontier.clone());
             previous = frontier;
         }
@@ -115,13 +146,7 @@ impl<'a> ParetoFrontier<'a> {
     /// [`OptimizeError::Infeasible`] when no point fits the budget.
     pub fn min_time_under_budget(&self, budget: Money) -> Result<Assignment, OptimizeError> {
         let last = self.layers.last().expect("layers are non-empty");
-        let best = last
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| p.cost <= budget)
-            .min_by_key(|(_, p)| (p.time, p.cost))
-            .map(|(i, _)| i)
-            .ok_or(OptimizeError::Infeasible)?;
+        let best = best_under_budget(last, budget).ok_or(OptimizeError::Infeasible)?;
         Ok(self.reconstruct(best))
     }
 
@@ -132,13 +157,7 @@ impl<'a> ParetoFrontier<'a> {
     /// [`OptimizeError::Infeasible`] when no point fits the quota.
     pub fn min_cost_under_time(&self, quota: TimeDelta) -> Result<Assignment, OptimizeError> {
         let last = self.layers.last().expect("layers are non-empty");
-        let best = last
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| p.time <= quota)
-            .min_by_key(|(_, p)| (p.cost, p.time))
-            .map(|(i, _)| i)
-            .ok_or(OptimizeError::Infeasible)?;
+        let best = best_under_quota(last, quota).ok_or(OptimizeError::Infeasible)?;
         Ok(self.reconstruct(best))
     }
 
@@ -151,15 +170,21 @@ impl<'a> ParetoFrontier<'a> {
         (0..last.len()).map(|i| self.reconstruct(i)).collect()
     }
 
-    fn reconstruct(&self, mut index: usize) -> Assignment {
-        let mut indices = vec![0usize; self.layers.len()];
-        for (i, layer) in self.layers.iter().enumerate().rev() {
-            let point = layer[index];
-            indices[i] = point.alt;
-            index = point.parent;
-        }
+    fn reconstruct(&self, index: usize) -> Assignment {
+        let layers: Vec<&[Point]> = self.layers.iter().map(Vec::as_slice).collect();
+        let indices = reconstruct_indices(&layers, index);
         Assignment::from_indices(self.alternatives, &indices)
     }
+}
+
+/// Errors when a layer exceeds the configured frontier size cap.
+pub(crate) fn check_cap(layer_len: usize, cap: usize) -> Result<(), OptimizeError> {
+    if layer_len > cap {
+        return Err(OptimizeError::InvalidParameter {
+            reason: format!("Pareto frontier exceeded cap ({layer_len} > {cap})"),
+        });
+    }
+    Ok(())
 }
 
 /// Keeps only Pareto-optimal points: minimal time among any cost level,

@@ -7,10 +7,7 @@
 //! limits derived from Eq. (2)/(3).
 
 use ecosched_core::{Batch, CoreError, JobAlternatives, JobId, Money, SlotList, TimeDelta};
-use ecosched_optimize::{
-    min_cost_under_time, min_time_under_budget, time_quota, vo_budget_with_quota, Assignment,
-    OptimizeError, ParetoFrontier,
-};
+use ecosched_optimize::{time_quota, Assignment, IncrementalOptimizer, OptStats, OptimizeError};
 use ecosched_select::{find_alternatives, SearchOutcome, SlotSelector};
 use serde::{Deserialize, Serialize};
 
@@ -88,6 +85,9 @@ pub struct IterationResult {
     pub assignment: Option<Assignment>,
     /// Jobs postponed to the next iteration (no alternatives found).
     pub postponed: Vec<JobId>,
+    /// Optimizer work counters for this iteration (rows reused vs rebuilt;
+    /// all-rebuilt when running without a shared cache).
+    pub opt: OptStats,
 }
 
 impl IterationResult {
@@ -152,6 +152,35 @@ pub fn run_iteration(
     batch: &Batch,
     config: &IterationConfig,
 ) -> Result<IterationResult, IterationError> {
+    run_iteration_cached(
+        selector,
+        list,
+        batch,
+        config,
+        &mut IncrementalOptimizer::new(),
+    )
+}
+
+/// [`run_iteration`] with a caller-held [`IncrementalOptimizer`], so the
+/// DP rows and Pareto layers survive across cycles: a batch that changed
+/// in a few positions (arrivals, completions, repairs) or whose VO limits
+/// shifted only pays for the rows its mutations actually invalidated. The
+/// returned [`IterationResult::opt`] holds this call's work delta.
+///
+/// Results are byte-identical to [`run_iteration`] regardless of the
+/// optimizer's prior state — the cache revalidates itself by fingerprint.
+///
+/// # Errors
+///
+/// See [`run_iteration`].
+pub fn run_iteration_cached(
+    selector: impl SlotSelector,
+    list: &SlotList,
+    batch: &Batch,
+    config: &IterationConfig,
+    optimizer: &mut IncrementalOptimizer,
+) -> Result<IterationResult, IterationError> {
+    let stats_before = optimizer.stats();
     let search = match config.search_mode {
         SearchMode::Sequential => find_alternatives(selector, list, batch)?,
         SearchMode::Coscheduled => {
@@ -175,6 +204,7 @@ pub fn run_iteration(
             budget: None,
             assignment: None,
             postponed,
+            opt: OptStats::default(),
         });
     }
 
@@ -199,11 +229,13 @@ pub fn run_iteration(
     };
 
     // Eq. (3).
-    let budget = vo_budget_with_quota(&covered, quota)?;
+    let budget = optimizer.vo_budget_with_quota(&covered, quota)?;
 
     let assignment = match config.criterion {
-        Criterion::MinTimeUnderBudget => optimize_min_time(&covered, budget, config.optimizer)?,
-        Criterion::MinCostUnderTime => min_cost_under_time(&covered, quota)?,
+        Criterion::MinTimeUnderBudget => {
+            optimize_min_time(optimizer, &covered, budget, config.optimizer)?
+        }
+        Criterion::MinCostUnderTime => optimizer.min_cost_under_time(&covered, quota)?,
     };
 
     Ok(IterationResult {
@@ -213,25 +245,27 @@ pub fn run_iteration(
         budget: Some(budget),
         assignment: Some(assignment),
         postponed,
+        opt: optimizer.stats().delta_since(&stats_before),
     })
 }
 
 fn optimize_min_time(
+    optimizer: &mut IncrementalOptimizer,
     covered: &[JobAlternatives],
     budget: Money,
-    optimizer: OptimizerKind,
+    kind: OptimizerKind,
 ) -> Result<Assignment, OptimizeError> {
-    match optimizer {
-        OptimizerKind::ParetoExact => ParetoFrontier::new(covered)?.min_time_under_budget(budget),
+    match kind {
+        OptimizerKind::ParetoExact => optimizer.pareto_min_time_under_budget(covered, budget),
         OptimizerKind::BackwardRun { resolution_steps } => {
             let steps = i64::from(resolution_steps.max(1));
             let resolution = Money::from_micro((budget.micro() / steps).max(1));
-            match min_time_under_budget(covered, budget, resolution) {
+            match optimizer.min_time_under_budget(covered, budget, resolution) {
                 Ok(a) => Ok(a),
                 // Quantization can starve a feasible instance; the exact
                 // sweep settles it.
                 Err(OptimizeError::Infeasible) => {
-                    ParetoFrontier::new(covered)?.min_time_under_budget(budget)
+                    optimizer.pareto_min_time_under_budget(covered, budget)
                 }
                 Err(e) => Err(e),
             }

@@ -32,10 +32,11 @@ use ecosched_core::{
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use ecosched_optimize::{IncrementalOptimizer, OptStats};
 use ecosched_select::{repair_search, try_adopt_window, RepairError, ScanStats, SlotSelector};
 
 use crate::config::{JobGenConfig, SlotGenConfig};
-use crate::iteration::{run_iteration, IterationConfig, IterationError};
+use crate::iteration::{run_iteration_cached, IterationConfig, IterationError};
 use crate::job_gen::JobGenerator;
 use crate::revocation::{RepairStats, RevocationConfig, RevocationModel};
 use crate::slot_gen::SlotGenerator;
@@ -120,6 +121,9 @@ pub struct CycleSummary {
     pub avg_cost: f64,
     /// Fault-and-repair accounting for the cycle.
     pub repair: RepairStats,
+    /// Combination-optimizer cache accounting for the cycle (rows reused
+    /// vs rebuilt across the shared [`ecosched_optimize::IncrementalOptimizer`]).
+    pub opt: OptStats,
 }
 
 /// The report of a multi-cycle metascheduler run.
@@ -148,6 +152,16 @@ impl MetaschedulerReport {
         let mut total = RepairStats::default();
         for c in &self.cycles {
             total.merge(&c.repair);
+        }
+        total
+    }
+
+    /// Combination-optimizer cache totals over all cycles.
+    #[must_use]
+    pub fn opt_totals(&self) -> OptStats {
+        let mut total = OptStats::default();
+        for c in &self.cycles {
+            total.merge(&c.opt);
         }
         total
     }
@@ -257,6 +271,9 @@ impl Metascheduler {
         let mut traces = Vec::with_capacity(cycles);
         // Requests carried over, with their carry count.
         let mut backlog: Vec<(ResourceRequest, u32)> = Vec::new();
+        // One optimizer for the whole run: cycles that carry most of their
+        // batch (or only shift the VO limits) reuse the cached DP rows.
+        let mut optimizer = IncrementalOptimizer::new();
 
         for _ in 0..cycles {
             let list: SlotList = self.slot_gen.generate(rng);
@@ -275,7 +292,8 @@ impl Metascheduler {
             }
             let batch = Batch::from_jobs(jobs).expect("re-keyed ids are unique");
 
-            let result = run_iteration(selector, &list, &batch, &self.config)?;
+            let result =
+                run_iteration_cached(selector, &list, &batch, &self.config, &mut optimizer)?;
             let per_job = result.search.alternatives.per_job();
 
             let mut stats = RepairStats::default();
@@ -379,6 +397,7 @@ impl Metascheduler {
                 avg_time,
                 avg_cost,
                 repair: stats,
+                opt: result.opt,
             });
             traces.push(CycleTrace {
                 requests: batch.as_slice().iter().map(|j| *j.request()).collect(),

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Line coverage for the combination-optimizer crate.
+#
+# Requires cargo-llvm-cov (https://github.com/taiki-e/cargo-llvm-cov);
+# CI installs it via taiki-e/install-action. The number is a recorded
+# baseline, not a ratchet — see COVERAGE.md for the last recorded value.
+set -euo pipefail
+
+if ! cargo llvm-cov --version >/dev/null 2>&1; then
+    echo "cargo-llvm-cov is not installed; skipping coverage." >&2
+    echo "Install with: cargo install cargo-llvm-cov" >&2
+    exit 0
+fi
+
+cd "$(dirname "$0")/.."
+exec cargo llvm-cov -p ecosched-optimize --summary-only "$@"

@@ -1,5 +1,7 @@
-//! Median reporter: merges measured medians into `BENCH_select.json` at the
-//! repository root.
+//! Median reporter: merges measured medians into a JSON report at the
+//! repository root — `BENCH_select.json` by default, or the file named by
+//! the `ECOSCHED_BENCH_REPORT` environment variable (so different bench
+//! targets can keep separate committed reports).
 //!
 //! The file is a single JSON object mapping `"group/bench"` names to
 //! `{ "median_ns": <f64> }`. Each bench run merges its results into the
@@ -9,8 +11,20 @@
 use serde::Value;
 use std::path::PathBuf;
 
-/// File name written at the workspace root.
+/// Default file name written at the workspace root.
 pub const REPORT_FILE: &str = "BENCH_select.json";
+
+/// Environment variable overriding the report file name.
+pub const REPORT_FILE_ENV: &str = "ECOSCHED_BENCH_REPORT";
+
+/// The report file name for this run: `ECOSCHED_BENCH_REPORT` when set
+/// (non-empty), [`REPORT_FILE`] otherwise.
+fn report_file() -> String {
+    match std::env::var(REPORT_FILE_ENV) {
+        Ok(name) if !name.is_empty() => name,
+        _ => REPORT_FILE.to_string(),
+    }
+}
 
 /// Locates the repository root by walking up from the current directory
 /// until `ROADMAP.md` is found (cargo runs benches from the package dir).
@@ -30,11 +44,12 @@ fn repo_root() -> Option<PathBuf> {
 /// for other benchmarks are preserved; entries for the same name are
 /// overwritten with the fresh measurement.
 pub fn record(results: &[(String, f64)]) {
+    let file = report_file();
     let Some(root) = repo_root() else {
-        eprintln!("criterion shim: repo root not found; skipping {REPORT_FILE}");
+        eprintln!("criterion shim: repo root not found; skipping {file}");
         return;
     };
-    let path = root.join(REPORT_FILE);
+    let path = root.join(file);
 
     let mut entries: Vec<(String, Value)> = std::fs::read_to_string(&path)
         .ok()
