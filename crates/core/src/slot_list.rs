@@ -465,6 +465,78 @@ impl SlotList {
         Ok(report)
     }
 
+    /// Merges every run of same-node slots that touch (`prev.end ==
+    /// next.start`) and agree on price and performance into one slot
+    /// carrying the run head's id — the defragmentation pass for lists
+    /// shredded by window release/re-release cycles. Returns the number of
+    /// slots absorbed into a neighbour.
+    ///
+    /// Ids of absorbed slots are retired (never reused: `next_id` is
+    /// untouched), surviving slots keep their ids and `(start, id)` order,
+    /// and the union of vacant `(node, time)` capacity is exactly
+    /// preserved — only the partitioning changes.
+    pub fn coalesce(&mut self) -> usize {
+        use std::collections::HashSet;
+        if self.slots.len() < 2 {
+            return 0;
+        }
+        let mut merged_end: HashMap<SlotId, TimePoint> = HashMap::new();
+        let mut absorbed: HashSet<SlotId> = HashSet::new();
+        for starts in self.node_starts.values() {
+            // Per-node slots in start order; same-node disjointness makes
+            // "touching" the only adjacency case to consider.
+            let mut run: Option<(SlotId, Slot)> = None;
+            for &id in starts.values() {
+                let slot = *self.get(id).expect("node index is in sync with the list");
+                match &mut run {
+                    Some((head_id, head))
+                        if head.end() == slot.start()
+                            && head.price() == slot.price()
+                            && head.perf() == slot.perf() =>
+                    {
+                        absorbed.insert(id);
+                        let span = Span::new(head.start(), slot.end())
+                            .expect("a merged span outlives both parts");
+                        *head = head
+                            .with_span(*head_id, span)
+                            .expect("merged spans are non-empty");
+                        merged_end.insert(*head_id, slot.end());
+                    }
+                    _ => run = Some((id, slot)),
+                }
+            }
+        }
+        if absorbed.is_empty() {
+            return 0;
+        }
+        // Apply in list order: extending an end never changes a slot's
+        // (start, id) sort key, so the ordered vector stays sorted.
+        self.slots = self
+            .slots
+            .iter()
+            .filter(|s| !absorbed.contains(&s.id()))
+            .map(|s| match merged_end.get(&s.id()) {
+                Some(&end) => s
+                    .with_span(
+                        s.id(),
+                        Span::new(s.start(), end).expect("merged spans are non-empty"),
+                    )
+                    .expect("merged spans are non-empty"),
+                None => *s,
+            })
+            .collect();
+        self.index.clear();
+        self.node_starts.clear();
+        for slot in &self.slots {
+            self.index.insert(slot.id(), slot.start());
+            self.node_starts
+                .entry(slot.node())
+                .or_default()
+                .insert(slot.start(), slot.id());
+        }
+        absorbed.len()
+    }
+
     /// Checks every structural invariant of the list, including that the id
     /// index matches the ordered vector. Cheap enough for tests; not called
     /// on hot paths.
@@ -926,6 +998,64 @@ mod tests {
         assert!(list.remove_region(NodeId::new(0), span(30, 50)).is_empty());
         assert!(list.remove_region(NodeId::new(7), span(0, 50)).is_empty());
         assert_eq!(list.len(), 1);
+    }
+
+    #[test]
+    fn coalesce_merges_touching_same_attribute_runs() {
+        let mut list = SlotList::from_slots(vec![
+            slot(0, 0, 0, 30),
+            slot(1, 0, 30, 60),
+            slot(2, 0, 60, 100),
+            slot(3, 1, 0, 50), // other node: left alone
+        ])
+        .unwrap();
+        let before = list.total_vacant_time();
+        assert_eq!(list.coalesce(), 2);
+        list.validate().unwrap();
+        assert_eq!(list.len(), 2);
+        // The run head keeps its id and absorbs the whole run.
+        let merged = list.get(SlotId::new(0)).unwrap();
+        assert_eq!(merged.span(), span(0, 100));
+        assert_eq!(list.total_vacant_time(), before);
+        assert!(list.get(SlotId::new(1)).is_none());
+        assert!(list.get(SlotId::new(2)).is_none());
+        assert_eq!(list.get(SlotId::new(3)).unwrap().span(), span(0, 50));
+        // Idempotent: a second pass finds nothing.
+        assert_eq!(list.coalesce(), 0);
+    }
+
+    #[test]
+    fn coalesce_respects_gaps_and_attribute_changes() {
+        let cheap = slot(0, 0, 0, 30);
+        let pricey = Slot::new(
+            SlotId::new(1),
+            NodeId::new(0),
+            Perf::UNIT,
+            Price::from_credits(9),
+            span(30, 60),
+        )
+        .unwrap();
+        let fast = Slot::new(
+            SlotId::new(2),
+            NodeId::new(0),
+            Perf::from_f64(2.0),
+            Price::from_credits(2),
+            span(60, 90),
+        )
+        .unwrap();
+        let gapped = slot(3, 0, 95, 120);
+        let mut list = SlotList::from_slots(vec![cheap, pricey, fast, gapped]).unwrap();
+        assert_eq!(list.coalesce(), 0);
+        assert_eq!(list.len(), 4);
+        list.validate().unwrap();
+    }
+
+    #[test]
+    fn coalesce_never_reuses_retired_ids() {
+        let mut list = SlotList::from_slots(vec![slot(0, 0, 0, 30), slot(1, 0, 30, 60)]).unwrap();
+        assert_eq!(list.coalesce(), 1);
+        // Id 1 is retired, not recycled: fresh mints start past it.
+        assert_eq!(list.mint_id(), SlotId::new(2));
     }
 
     #[test]

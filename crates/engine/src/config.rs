@@ -90,6 +90,16 @@ pub struct EngineConfig {
     /// [`ecosched_optimize::OptStats`] differ. The flag exists as an A/B
     /// switch for the determinism tests and benchmarks.
     pub optimizer_cache: bool,
+    /// Whether each cycle commit coalesces adjacent vacant slots on the
+    /// same node with identical price and performance into one slot.
+    /// Coalescing preserves exactly which `(node, time)` regions are
+    /// vacant, but merging fragments can only improve what a window
+    /// search sees: a runtime that straddles a fragment boundary fits the
+    /// merged slot and not the fragments, so the coalesced run may accept
+    /// windows *earlier* (never later) and its event log may differ from
+    /// an uncoalesced run of the same seed. The flag is the A/B switch
+    /// for that comparison.
+    pub coalesce: bool,
     /// Number of virtual organisations; arriving jobs are assigned
     /// round-robin and per-VO spend is tracked.
     pub vos: u32,
@@ -117,6 +127,7 @@ impl Default for EngineConfig {
             repair: RepairPolicy::default(),
             iteration: IterationConfig::default(),
             optimizer_cache: true,
+            coalesce: true,
             vos: 3,
             completion_fraction: 0.75,
             slowdown_tau: 10,

@@ -23,6 +23,15 @@
 //!   capacity to the vacant list through a sorted merge
 //!   (`SlotList::from_sorted_slots`);
 //! * `SlotExpired` sweeps fully elapsed vacant slots.
+//!
+//! The run loop is decomposed for checkpoint/restore: [`Engine::start`]
+//! builds a [`RunState`], [`Engine::step`] processes exactly one event,
+//! and [`Engine::finish`] closes the books. [`Engine::run`] is the
+//! one-shot composition. Between any two steps, [`Engine::checkpoint`]
+//! captures the full resumable state and [`Engine::resume`] rebuilds a
+//! `RunState` that continues byte-identically — the foundation the
+//! `ecosched-persist` crate's snapshot files and crash-recovery replay
+//! are built on.
 
 use std::collections::BTreeMap;
 
@@ -38,12 +47,15 @@ use ecosched_sim::{
     RevocationModel, SlotGenerator,
 };
 use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use rand_chacha::{ChaCha8Rng, ChaChaState};
 
 use crate::config::{ArrivalConfig, EngineConfig};
-use crate::event::{Event, EventLog};
+use crate::event::{fnv1a_64, Event, EventLog, LogEntry};
 use crate::queue::EventQueue;
 use crate::report::{CyclePoint, EngineReport};
+use crate::state::{
+    ArrivalState, EngineCheckpoint, LeaseState, PendingState, QueuedEventState, RngState,
+};
 
 /// Errors from an engine run.
 #[derive(Debug)]
@@ -52,6 +64,23 @@ pub enum EngineError {
     Config(ConfigError),
     /// The scheduling pipeline failed inside a cycle.
     Iteration(IterationError),
+    /// A checkpoint was taken under a different configuration or selector
+    /// than the engine trying to resume it. Replay convergence is only
+    /// guaranteed under the identical `(config, selector)` pair, so
+    /// resume refuses rather than silently diverging.
+    CheckpointMismatch {
+        /// The resuming engine's configuration fingerprint.
+        expected: u64,
+        /// The fingerprint stored in the checkpoint.
+        found: u64,
+    },
+    /// A checkpoint's contents are structurally invalid (for example an
+    /// RNG key of the wrong width). Indicates corruption that slipped
+    /// past the container's checksums, or a hand-edited file.
+    MalformedCheckpoint {
+        /// What was wrong.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -59,6 +88,14 @@ impl std::fmt::Display for EngineError {
         match self {
             EngineError::Config(e) => write!(f, "invalid engine configuration: {e}"),
             EngineError::Iteration(e) => write!(f, "scheduling cycle failed: {e}"),
+            EngineError::CheckpointMismatch { expected, found } => write!(
+                f,
+                "checkpoint was taken under a different configuration: \
+                 engine fingerprint {expected:016x}, checkpoint fingerprint {found:016x}"
+            ),
+            EngineError::MalformedCheckpoint { detail } => {
+                write!(f, "malformed checkpoint: {detail}")
+            }
         }
     }
 }
@@ -68,6 +105,9 @@ impl std::error::Error for EngineError {
         match self {
             EngineError::Config(e) => Some(e),
             EngineError::Iteration(e) => Some(e),
+            EngineError::CheckpointMismatch { .. } | EngineError::MalformedCheckpoint { .. } => {
+                None
+            }
         }
     }
 }
@@ -118,6 +158,82 @@ struct ActiveLease {
     actual_length: TimeDelta,
 }
 
+/// The live state of an in-flight engine run, between events.
+///
+/// Produced by [`Engine::start`] (or [`Engine::resume`]), advanced one
+/// event at a time by [`Engine::step`], consumed by [`Engine::finish`].
+/// All mutation happens through the engine; the state only exposes
+/// read-only progress accessors so external drivers (snapshot cadence,
+/// fault injection) can decide when to act.
+pub struct RunState {
+    seed: u64,
+    rng: ChaCha8Rng,
+    queue: EventQueue,
+    log: EventLog,
+    arrivals: Vec<(TimePoint, ResourceRequest)>,
+    slot_gen: SlotGenerator,
+    revocation: RevocationModel,
+    vacant: SlotList,
+    next_node: u32,
+    pending: Vec<PendingJob>,
+    leases: BTreeMap<u64, ActiveLease>,
+    next_lease: u64,
+    // One optimizer for the whole run: cycle N+1 reuses the dynamic
+    // programming rows cycle N left behind wherever the batch suffix
+    // is unchanged. With `optimizer_cache` off every tick solves from
+    // scratch instead; both paths commit identical leases.
+    optimizer: IncrementalOptimizer,
+    report: EngineReport,
+    published_ticks: i64,
+    busy_ticks: i64,
+    wait_sum: f64,
+    slowdown_sum: f64,
+}
+
+impl std::fmt::Debug for RunState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunState")
+            .field("seed", &self.seed)
+            .field("events_processed", &self.log.len())
+            .field("events_queued", &self.queue.len())
+            .field("pending_jobs", &self.pending.len())
+            .field("active_leases", &self.leases.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl RunState {
+    /// The seed the run was started with.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The event log so far, in processing order.
+    #[must_use]
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// Number of events processed so far.
+    #[must_use]
+    pub fn events_processed(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Number of future events still queued. Zero means the run is done.
+    #[must_use]
+    pub fn events_queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The most recently processed event, if any.
+    #[must_use]
+    pub fn last_entry(&self) -> Option<&LogEntry> {
+        self.log.entries.last()
+    }
+}
+
 /// The discrete-event metascheduling engine.
 #[derive(Debug, Clone)]
 pub struct Engine<S> {
@@ -142,6 +258,17 @@ impl<S: SlotSelector + Copy> Engine<S> {
         &self.config
     }
 
+    /// FNV-1a 64 fingerprint of the configuration and selector name.
+    ///
+    /// Checkpoints carry this value; [`Self::resume`] refuses a
+    /// checkpoint whose fingerprint differs, because replay only
+    /// converges under the identical `(config, selector)` pair.
+    #[must_use]
+    pub fn config_fingerprint(&self) -> u64 {
+        let json = serde_json::to_string(&self.config).unwrap_or_default();
+        fnv1a_64(format!("{}|{json}", self.selector.name()).as_bytes())
+    }
+
     /// Runs the simulation to queue exhaustion.
     ///
     /// Deterministic: the run is a pure function of `(config, seed)`, and
@@ -151,18 +278,25 @@ impl<S: SlotSelector + Copy> Engine<S> {
     ///
     /// Propagates [`IterationError`] from any scheduling cycle.
     pub fn run(&self, seed: u64) -> Result<EngineRun, EngineError> {
+        let mut state = self.start(seed);
+        while self.step(&mut state)?.is_some() {}
+        Ok(self.finish(state))
+    }
+
+    /// Builds the initial [`RunState`]: seeds the RNG, precomputes the
+    /// arrival stream, and schedules the cycle skeleton (publication,
+    /// tick, and — when enabled — the mid-cycle strike, per cycle).
+    #[must_use]
+    pub fn start(&self, seed: u64) -> RunState {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut queue = EventQueue::new();
-        let mut log = EventLog::new();
 
         // -- setup: arrivals, then the cycle skeleton -------------------
         let arrivals = self.arrivals(&mut rng);
         for (i, (t, _)) in arrivals.iter().enumerate() {
             queue.push(*t, Event::JobArrival { job: i as u32 });
         }
-        let slot_gen = SlotGenerator::new(self.config.slot_gen);
         let strikes = self.config.revocation.is_enabled();
-        let revocation = RevocationModel::new(self.config.revocation);
         for k in 0..self.config.cycles {
             let t = TimePoint::new(i64::from(k) * self.config.cycle_length);
             let count = rng
@@ -177,378 +311,66 @@ impl<S: SlotSelector + Copy> Engine<S> {
             }
         }
 
-        // -- live state -------------------------------------------------
-        let mut vacant = SlotList::new();
-        let mut next_node: u32 = 0;
-        let mut pending: Vec<PendingJob> = Vec::new();
-        let mut leases: BTreeMap<u64, ActiveLease> = BTreeMap::new();
-        let mut next_lease: u64 = 0;
-        // One optimizer for the whole run: cycle N+1 reuses the dynamic
-        // programming rows cycle N left behind wherever the batch suffix
-        // is unchanged. With `optimizer_cache` off every tick solves from
-        // scratch instead; both paths commit identical leases.
-        let mut optimizer = IncrementalOptimizer::new();
-        let mut report = EngineReport {
-            vo_spend: vec![0.0; self.config.vos as usize],
-            ..EngineReport::default()
-        };
-        let mut published_ticks: i64 = 0;
-        let mut busy_ticks: i64 = 0;
-        let mut wait_sum: f64 = 0.0;
-        let mut slowdown_sum: f64 = 0.0;
-
-        while let Some((now, seq, event)) = queue.pop() {
-            log.push(now.ticks(), seq, event);
-            match event {
-                Event::JobArrival { job } => {
-                    let (arrival, request) = arrivals[job as usize];
-                    report.jobs_arrived += 1;
-                    pending.push(PendingJob {
-                        id: job,
-                        arrival,
-                        vo: job % self.config.vos,
-                        request,
-                    });
-                }
-
-                Event::SlotPublished { count, .. } => {
-                    let generated = slot_gen.generate_exact(&mut rng, count as usize);
-                    for s in generated.iter() {
-                        let id = vacant.mint_id();
-                        let node = NodeId::new(next_node);
-                        next_node += 1;
-                        let span = Span::new(now + (s.start() - TimePoint::ZERO), {
-                            now + (s.end() - TimePoint::ZERO)
-                        })
-                        .expect("generated spans are non-empty");
-                        let slot = Slot::new(id, node, s.perf(), s.price(), span)
-                            .expect("generated slots are non-empty");
-                        published_ticks += span.length().ticks();
-                        queue.push(span.end(), Event::SlotExpired { slot: id.raw() });
-                        vacant
-                            .insert(slot)
-                            .expect("fresh nodes cannot collide with existing slots");
-                    }
-                }
-
-                Event::SlotExpired { .. } => {
-                    // The id is only a trigger: sweep everything that has
-                    // fully elapsed (remnants carved from expired slots
-                    // carry fresh ids but the same end bound).
-                    let dead: Vec<(NodeId, Span)> = vacant
-                        .iter()
-                        .filter(|s| s.end() <= now)
-                        .map(|s| (s.node(), s.span()))
-                        .collect();
-                    for (node, span) in dead {
-                        vacant.remove_region(node, span);
-                    }
-                }
-
-                Event::CycleTick { cycle } => {
-                    let market = clip_to_now(&vacant, now);
-                    let market_slots = market.len();
-                    if pending.is_empty() {
-                        report.cycles.push(CyclePoint {
-                            cycle,
-                            time: now.ticks(),
-                            market_slots,
-                            batch_size: 0,
-                            scheduled: 0,
-                            postponed: 0,
-                            mean_wait: 0.0,
-                            spend: 0.0,
-                        });
-                        continue;
-                    }
-
-                    // Pending order is (arrival, id): the longest-waiting
-                    // job takes the highest batch priority.
-                    let jobs: Vec<Job> = pending
-                        .iter()
-                        .enumerate()
-                        .map(|(i, p)| Job::new(JobId::new(i as u32), p.request))
-                        .collect();
-                    let batch = Batch::from_jobs(jobs).expect("re-keyed ids are unique");
-                    let result = if self.config.optimizer_cache {
-                        run_iteration_cached(
-                            self.selector,
-                            &market,
-                            &batch,
-                            &self.config.iteration,
-                            &mut optimizer,
-                        )?
-                    } else {
-                        run_iteration(self.selector, &market, &batch, &self.config.iteration)?
-                    };
-                    report.opt.merge(&result.opt);
-                    let per_job = result.search.alternatives.per_job();
-
-                    let mut chosen: Vec<Option<usize>> = vec![None; batch.len()];
-                    if let Some(assignment) = &result.assignment {
-                        for choice in assignment.choices() {
-                            chosen[choice.job.index() as usize] = Some(choice.alternative);
-                        }
-                    }
-
-                    // The post-commit vacant list: whatever the search left,
-                    // plus every non-chosen alternative released back (they
-                    // stay adoptable for failover until something else
-                    // consumes their time).
-                    let mut exec = result.search.remaining.clone();
-                    for (i, ja) in per_job.iter().enumerate() {
-                        for (alt_idx, alt) in ja.alternatives().iter().enumerate() {
-                            if chosen[i] == Some(alt_idx) {
-                                continue;
-                            }
-                            release_window(&mut exec, alt.window());
-                        }
-                    }
-
-                    let mut committed: usize = 0;
-                    let mut cycle_wait: i64 = 0;
-                    let mut cycle_spend: f64 = 0.0;
-                    for (i, p) in pending.iter().enumerate() {
-                        let Some(alt_idx) = chosen[i] else { continue };
-                        let window = per_job[i].alternatives()[alt_idx].window().clone();
-                        let alternatives: Vec<Window> = per_job[i]
-                            .alternatives()
-                            .iter()
-                            .enumerate()
-                            .filter(|(j, _)| *j != alt_idx)
-                            .map(|(_, a)| a.window().clone())
-                            .collect();
-                        let cost = window.total_cost().to_f64();
-                        cycle_wait += (window.start() - p.arrival).ticks();
-                        cycle_spend += cost;
-                        report.vo_spend[p.vo as usize] += cost;
-                        committed += 1;
-                        self.commit_lease(
-                            &mut queue,
-                            &mut leases,
-                            &mut next_lease,
-                            ActiveLeaseSeed {
-                                job: p.id,
-                                arrival: p.arrival,
-                                vo: p.vo,
-                                request: p.request,
-                                window,
-                                alternatives,
-                            },
-                        );
-                    }
-                    report.jobs_scheduled += committed as u64;
-
-                    let carried: Vec<PendingJob> = pending
-                        .iter()
-                        .enumerate()
-                        .filter(|(i, _)| chosen[*i].is_none())
-                        .map(|(_, p)| *p)
-                        .collect();
-                    report.cycles.push(CyclePoint {
-                        cycle,
-                        time: now.ticks(),
-                        market_slots,
-                        batch_size: pending.len(),
-                        scheduled: committed,
-                        postponed: carried.len(),
-                        mean_wait: if committed > 0 {
-                            cycle_wait as f64 / committed as f64
-                        } else {
-                            0.0
-                        },
-                        spend: cycle_spend,
-                    });
-                    pending = carried;
-                    vacant = exec;
-                }
-
-                Event::RevocationStrike { .. } => {
-                    // Sample against the live surface: vacant slots plus
-                    // active lease regions, so strikes can land on windows
-                    // carved by earlier repairs.
-                    let lease_views: Vec<Lease> = leases
-                        .values()
-                        .map(|al| Lease::planned(JobId::new(al.job), al.window.clone()))
-                        .collect();
-                    let revocations = revocation.draw_live(&vacant, &lease_views, &mut rng);
-                    report.revocations += revocations.len() as u64;
-                    if revocations.is_empty() {
-                        continue;
-                    }
-                    for r in &revocations {
-                        vacant.remove_region(r.node, r.span);
-                    }
-
-                    let broken: Vec<u64> = leases
-                        .keys()
-                        .copied()
-                        .zip(lease_views.iter())
-                        .filter(|(_, view)| revocations.iter().any(|r| view.broken_by(r)))
-                        .map(|(id, _)| id)
-                        .collect();
-
-                    // Broken leases release their surviving future
-                    // fragments first, so later repairs can reuse the time.
-                    for id in &broken {
-                        let al = &leases[id];
-                        for ws in al.window.slots() {
-                            let mut fragments = vec![al.window.used_span(ws)];
-                            for r in revocations.iter().filter(|r| r.node == ws.node()) {
-                                let mut survivors = Vec::new();
-                                for frag in fragments {
-                                    let (left, right) = frag.subtract(r.span);
-                                    survivors.extend(left);
-                                    survivors.extend(right);
-                                }
-                                fragments = survivors;
-                            }
-                            for frag in fragments {
-                                if frag.end() <= now {
-                                    continue; // already elapsed
-                                }
-                                let span = Span::new(frag.start().max(now), frag.end())
-                                    .expect("clipped fragments are non-empty");
-                                let slot_id = vacant.mint_id();
-                                let slot =
-                                    Slot::new(slot_id, ws.node(), ws.perf(), ws.price(), span)
-                                        .expect("surviving fragments are non-empty");
-                                vacant
-                                    .insert(slot)
-                                    .expect("lease regions were held exclusively");
-                            }
-                        }
-                    }
-                    report.leases_broken += broken.len() as u64;
-
-                    // Three-tier recovery, in lease-id (commitment) order.
-                    for id in broken {
-                        let original = leases.remove(&id).expect("broken ids are live");
-                        let mut attempts: u32 = 0;
-                        let mut recovered: Option<(Window, Vec<Window>, bool)> = None;
-
-                        // Tier 1: adopt a surviving future alternative.
-                        for (alt_idx, alt) in original.alternatives.iter().enumerate() {
-                            if attempts >= self.config.repair.max_attempts {
-                                break;
-                            }
-                            if alt.start() < now {
-                                continue; // cannot launch in the past
-                            }
-                            attempts += 1;
-                            if try_adopt_window(alt, &mut vacant, &revocations).is_ok() {
-                                let rest: Vec<Window> = original
-                                    .alternatives
-                                    .iter()
-                                    .enumerate()
-                                    .filter(|(j, _)| *j != alt_idx)
-                                    .map(|(_, w)| w.clone())
-                                    .collect();
-                                recovered = Some((alt.clone(), rest, true));
-                                break;
-                            }
-                        }
-
-                        // Tier 2: bounded repair search from the broken
-                        // window's start (never the past).
-                        if recovered.is_none() && attempts < self.config.repair.max_attempts {
-                            let mut scan = ScanStats::new();
-                            let resume_at = original.window.start().max(now);
-                            if let Some(window) = repair_search(
-                                &self.selector,
-                                &original.request,
-                                resume_at,
-                                &vacant,
-                                &mut scan,
-                            ) {
-                                vacant
-                                    .subtract_window(&window)
-                                    .expect("repair windows are carved from the vacant list");
-                                recovered = Some((window, Vec::new(), false));
-                            }
-                        }
-
-                        // Tier 3: back to the pending queue.
-                        match recovered {
-                            Some((window, alternatives, failover)) => {
-                                if failover {
-                                    report.failovers += 1;
-                                } else {
-                                    report.repairs += 1;
-                                }
-                                // The old lease id dies here; its pending
-                                // completion event goes stale.
-                                self.commit_lease(
-                                    &mut queue,
-                                    &mut leases,
-                                    &mut next_lease,
-                                    ActiveLeaseSeed {
-                                        job: original.job,
-                                        arrival: original.arrival,
-                                        vo: original.vo,
-                                        request: original.request,
-                                        window,
-                                        alternatives,
-                                    },
-                                );
-                            }
-                            None => {
-                                report.repostponed += 1;
-                                pending.push(PendingJob {
-                                    id: original.job,
-                                    arrival: original.arrival,
-                                    vo: original.vo,
-                                    request: original.request,
-                                });
-                                pending.sort_by_key(|p| (p.arrival, p.id));
-                            }
-                        }
-                    }
-                }
-
-                Event::LeaseCompleted { lease } => {
-                    let Some(al) = leases.remove(&lease) else {
-                        // The lease broke and was replaced after this event
-                        // was scheduled.
-                        report.stale_completions += 1;
-                        continue;
-                    };
-                    report.jobs_completed += 1;
-                    let run = al.actual_length.ticks();
-                    let wait = (al.window.start() - al.arrival).ticks();
-                    wait_sum += wait as f64;
-                    slowdown_sum +=
-                        ((wait + run) as f64 / run.max(self.config.slowdown_tau) as f64).max(1.0);
-
-                    // Unused tails (members faster than the elapsed run, or
-                    // the completion-fraction shortfall) return to the
-                    // vacant list via a sorted merge.
-                    let mut tails: Vec<Slot> = Vec::new();
-                    for ws in al.window.slots() {
-                        busy_ticks += ws.runtime().ticks().min(run);
-                        if ws.runtime().ticks() > run {
-                            let span = Span::new(
-                                al.window.start() + al.actual_length,
-                                al.window.start() + ws.runtime(),
-                            )
-                            .expect("tails are non-empty");
-                            let id = vacant.mint_id();
-                            tails.push(
-                                Slot::new(id, ws.node(), ws.perf(), ws.price(), span)
-                                    .expect("tails are non-empty"),
-                            );
-                        }
-                    }
-                    if !tails.is_empty() {
-                        let mut merged: Vec<Slot> = vacant.iter().copied().chain(tails).collect();
-                        merged.sort_by_key(|s| (s.start(), s.id()));
-                        vacant = SlotList::from_sorted_slots(merged)
-                            .expect("returned tails are disjoint from the vacant list");
-                    }
-                }
-            }
+        RunState {
+            seed,
+            rng,
+            queue,
+            log: EventLog::new(),
+            arrivals,
+            slot_gen: SlotGenerator::new(self.config.slot_gen),
+            revocation: RevocationModel::new(self.config.revocation),
+            vacant: SlotList::new(),
+            next_node: 0,
+            pending: Vec::new(),
+            leases: BTreeMap::new(),
+            next_lease: 0,
+            optimizer: IncrementalOptimizer::new(),
+            report: EngineReport {
+                vo_spend: vec![0.0; self.config.vos as usize],
+                ..EngineReport::default()
+            },
+            published_ticks: 0,
+            busy_ticks: 0,
+            wait_sum: 0.0,
+            slowdown_sum: 0.0,
         }
+    }
 
+    /// Processes exactly one event: pops it, logs it, and runs its
+    /// handler. Returns the logged entry, or `None` when the queue has
+    /// drained and the run is complete.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`IterationError`] from a scheduling cycle.
+    pub fn step(&self, state: &mut RunState) -> Result<Option<LogEntry>, EngineError> {
+        let Some((now, seq, event)) = state.queue.pop() else {
+            return Ok(None);
+        };
+        state.log.push(now.ticks(), seq, event);
+        self.handle(state, now, event)?;
+        Ok(Some(LogEntry {
+            time: now.ticks(),
+            seq,
+            event,
+        }))
+    }
+
+    /// Closes the books on a drained (or abandoned) run: backlog, means,
+    /// utilization, and the log fingerprint.
+    #[must_use]
+    pub fn finish(&self, state: RunState) -> EngineRun {
+        let RunState {
+            log,
+            pending,
+            leases,
+            mut report,
+            published_ticks,
+            busy_ticks,
+            wait_sum,
+            slowdown_sum,
+            ..
+        } = state;
         report.backlog = (pending.len() + leases.len()) as u64;
         if report.jobs_completed > 0 {
             report.mean_wait = wait_sum / report.jobs_completed as f64;
@@ -559,7 +381,558 @@ impl<S: SlotSelector + Copy> Engine<S> {
         }
         report.event_count = log.len() as u64;
         report.log_hash = log.fnv1a_hash();
-        Ok(EngineRun { report, log })
+        EngineRun { report, log }
+    }
+
+    /// Captures the full resumable state of an in-flight run.
+    ///
+    /// Safe to call between any two [`Self::step`]s; the intended cadence
+    /// is after a `CycleTick` commit (check [`RunState::last_entry`]).
+    /// The optimizer's caches are exported only when `optimizer_cache` is
+    /// on — otherwise `None` marks a deliberately cold cache.
+    #[must_use]
+    pub fn checkpoint(&self, state: &RunState) -> EngineCheckpoint {
+        let rng = state.rng.capture();
+        let (queue_next_seq, entries) = state.queue.snapshot();
+        EngineCheckpoint {
+            seed: state.seed,
+            config_fp: self.config_fingerprint(),
+            rng: RngState {
+                key: rng.key.to_vec(),
+                counter: rng.counter,
+                cursor: rng.cursor as u64,
+            },
+            queue_next_seq,
+            queue: entries
+                .into_iter()
+                .map(|(time, seq, event)| QueuedEventState {
+                    time: time.ticks(),
+                    seq,
+                    event,
+                })
+                .collect(),
+            log: state.log.clone(),
+            arrivals: state
+                .arrivals
+                .iter()
+                .map(|(t, request)| ArrivalState {
+                    time: t.ticks(),
+                    request: *request,
+                })
+                .collect(),
+            vacant: state.vacant.clone(),
+            next_node: state.next_node,
+            pending: state
+                .pending
+                .iter()
+                .map(|p| PendingState {
+                    id: p.id,
+                    arrival: p.arrival.ticks(),
+                    vo: p.vo,
+                    request: p.request,
+                })
+                .collect(),
+            leases: state
+                .leases
+                .iter()
+                .map(|(id, al)| LeaseState {
+                    lease: *id,
+                    job: al.job,
+                    arrival: al.arrival.ticks(),
+                    vo: al.vo,
+                    request: al.request,
+                    window: al.window.clone(),
+                    alternatives: al.alternatives.clone(),
+                    actual_length: al.actual_length.ticks(),
+                })
+                .collect(),
+            next_lease: state.next_lease,
+            report: state.report.clone(),
+            published_ticks: state.published_ticks,
+            busy_ticks: state.busy_ticks,
+            wait_sum_bits: state.wait_sum.to_bits(),
+            slowdown_sum_bits: state.slowdown_sum.to_bits(),
+            optimizer: if self.config.optimizer_cache {
+                Some(state.optimizer.snapshot())
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Rebuilds a [`RunState`] from a checkpoint taken by
+    /// [`Self::checkpoint`] under the same configuration and selector.
+    /// Stepping the resumed state produces exactly the events the
+    /// captured run would have produced.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::CheckpointMismatch`] when the checkpoint was taken
+    /// under a different `(config, selector)` fingerprint;
+    /// [`EngineError::MalformedCheckpoint`] when its contents are
+    /// structurally invalid.
+    pub fn resume(&self, checkpoint: &EngineCheckpoint) -> Result<RunState, EngineError> {
+        let expected = self.config_fingerprint();
+        if checkpoint.config_fp != expected {
+            return Err(EngineError::CheckpointMismatch {
+                expected,
+                found: checkpoint.config_fp,
+            });
+        }
+        let key: [u32; 8] = checkpoint.rng.key.as_slice().try_into().map_err(|_| {
+            EngineError::MalformedCheckpoint {
+                detail: format!("rng key has {} words, expected 8", checkpoint.rng.key.len()),
+            }
+        })?;
+        if checkpoint.rng.cursor > 16 {
+            return Err(EngineError::MalformedCheckpoint {
+                detail: format!("rng cursor {} out of range 0..=16", checkpoint.rng.cursor),
+            });
+        }
+        let rng = ChaCha8Rng::restore(ChaChaState {
+            key,
+            counter: checkpoint.rng.counter,
+            cursor: checkpoint.rng.cursor as usize,
+        });
+        Ok(RunState {
+            seed: checkpoint.seed,
+            rng,
+            queue: EventQueue::restore(
+                checkpoint.queue_next_seq,
+                checkpoint
+                    .queue
+                    .iter()
+                    .map(|q| (TimePoint::new(q.time), q.seq, q.event)),
+            ),
+            log: checkpoint.log.clone(),
+            arrivals: checkpoint
+                .arrivals
+                .iter()
+                .map(|a| (TimePoint::new(a.time), a.request))
+                .collect(),
+            slot_gen: SlotGenerator::new(self.config.slot_gen),
+            revocation: RevocationModel::new(self.config.revocation),
+            vacant: checkpoint.vacant.clone(),
+            next_node: checkpoint.next_node,
+            pending: checkpoint
+                .pending
+                .iter()
+                .map(|p| PendingJob {
+                    id: p.id,
+                    arrival: TimePoint::new(p.arrival),
+                    vo: p.vo,
+                    request: p.request,
+                })
+                .collect(),
+            leases: checkpoint
+                .leases
+                .iter()
+                .map(|l| {
+                    (
+                        l.lease,
+                        ActiveLease {
+                            job: l.job,
+                            arrival: TimePoint::new(l.arrival),
+                            vo: l.vo,
+                            request: l.request,
+                            window: l.window.clone(),
+                            alternatives: l.alternatives.clone(),
+                            actual_length: TimeDelta::new(l.actual_length),
+                        },
+                    )
+                })
+                .collect(),
+            next_lease: checkpoint.next_lease,
+            optimizer: match &checkpoint.optimizer {
+                Some(snapshot) => IncrementalOptimizer::from_snapshot(snapshot),
+                None => IncrementalOptimizer::new(),
+            },
+            report: checkpoint.report.clone(),
+            published_ticks: checkpoint.published_ticks,
+            busy_ticks: checkpoint.busy_ticks,
+            wait_sum: f64::from_bits(checkpoint.wait_sum_bits),
+            slowdown_sum: f64::from_bits(checkpoint.slowdown_sum_bits),
+        })
+    }
+
+    /// Runs one event's handler. Every state change of the run happens
+    /// here, keyed by the event's type.
+    fn handle(
+        &self,
+        state: &mut RunState,
+        now: TimePoint,
+        event: Event,
+    ) -> Result<(), EngineError> {
+        match event {
+            Event::JobArrival { job } => {
+                let (arrival, request) = state.arrivals[job as usize];
+                state.report.jobs_arrived += 1;
+                state.pending.push(PendingJob {
+                    id: job,
+                    arrival,
+                    vo: job % self.config.vos,
+                    request,
+                });
+            }
+
+            Event::SlotPublished { count, .. } => {
+                let generated = state
+                    .slot_gen
+                    .generate_exact(&mut state.rng, count as usize);
+                for s in generated.iter() {
+                    let id = state.vacant.mint_id();
+                    let node = NodeId::new(state.next_node);
+                    state.next_node += 1;
+                    let span = Span::new(now + (s.start() - TimePoint::ZERO), {
+                        now + (s.end() - TimePoint::ZERO)
+                    })
+                    .expect("generated spans are non-empty");
+                    let slot = Slot::new(id, node, s.perf(), s.price(), span)
+                        .expect("generated slots are non-empty");
+                    state.published_ticks += span.length().ticks();
+                    state
+                        .queue
+                        .push(span.end(), Event::SlotExpired { slot: id.raw() });
+                    state
+                        .vacant
+                        .insert(slot)
+                        .expect("fresh nodes cannot collide with existing slots");
+                }
+            }
+
+            Event::SlotExpired { .. } => {
+                // The id is only a trigger: sweep everything that has
+                // fully elapsed (remnants carved from expired slots
+                // carry fresh ids but the same end bound).
+                let dead: Vec<(NodeId, Span)> = state
+                    .vacant
+                    .iter()
+                    .filter(|s| s.end() <= now)
+                    .map(|s| (s.node(), s.span()))
+                    .collect();
+                for (node, span) in dead {
+                    state.vacant.remove_region(node, span);
+                }
+            }
+
+            Event::CycleTick { cycle } => {
+                let market = clip_to_now(&state.vacant, now);
+                let market_slots = market.len();
+                if state.pending.is_empty() {
+                    state.report.cycles.push(CyclePoint {
+                        cycle,
+                        time: now.ticks(),
+                        market_slots,
+                        batch_size: 0,
+                        scheduled: 0,
+                        postponed: 0,
+                        mean_wait: 0.0,
+                        spend: 0.0,
+                    });
+                    return Ok(());
+                }
+
+                // Pending order is (arrival, id): the longest-waiting
+                // job takes the highest batch priority.
+                let jobs: Vec<Job> = state
+                    .pending
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| Job::new(JobId::new(i as u32), p.request))
+                    .collect();
+                let batch = Batch::from_jobs(jobs).expect("re-keyed ids are unique");
+                let result = if self.config.optimizer_cache {
+                    run_iteration_cached(
+                        self.selector,
+                        &market,
+                        &batch,
+                        &self.config.iteration,
+                        &mut state.optimizer,
+                    )?
+                } else {
+                    run_iteration(self.selector, &market, &batch, &self.config.iteration)?
+                };
+                state.report.opt.merge(&result.opt);
+                let per_job = result.search.alternatives.per_job();
+
+                let mut chosen: Vec<Option<usize>> = vec![None; batch.len()];
+                if let Some(assignment) = &result.assignment {
+                    for choice in assignment.choices() {
+                        chosen[choice.job.index() as usize] = Some(choice.alternative);
+                    }
+                }
+
+                // The post-commit vacant list: whatever the search left,
+                // plus every non-chosen alternative released back (they
+                // stay adoptable for failover until something else
+                // consumes their time).
+                let mut exec = result.search.remaining.clone();
+                for (i, ja) in per_job.iter().enumerate() {
+                    for (alt_idx, alt) in ja.alternatives().iter().enumerate() {
+                        if chosen[i] == Some(alt_idx) {
+                            continue;
+                        }
+                        release_window(&mut exec, alt.window());
+                    }
+                }
+                // Fragments accumulate at commit boundaries (released
+                // alternatives, returned tails, clip remnants); merging
+                // touching same-attribute neighbours keeps the list —
+                // and every later scan over it — small.
+                if self.config.coalesce {
+                    state.report.slots_coalesced += exec.coalesce() as u64;
+                }
+
+                let mut committed: usize = 0;
+                let mut cycle_wait: i64 = 0;
+                let mut cycle_spend: f64 = 0.0;
+                for (i, p) in state.pending.iter().enumerate() {
+                    let Some(alt_idx) = chosen[i] else { continue };
+                    let window = per_job[i].alternatives()[alt_idx].window().clone();
+                    let alternatives: Vec<Window> = per_job[i]
+                        .alternatives()
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| *j != alt_idx)
+                        .map(|(_, a)| a.window().clone())
+                        .collect();
+                    let cost = window.total_cost().to_f64();
+                    cycle_wait += (window.start() - p.arrival).ticks();
+                    cycle_spend += cost;
+                    state.report.vo_spend[p.vo as usize] += cost;
+                    committed += 1;
+                    self.commit_lease(
+                        &mut state.queue,
+                        &mut state.leases,
+                        &mut state.next_lease,
+                        ActiveLeaseSeed {
+                            job: p.id,
+                            arrival: p.arrival,
+                            vo: p.vo,
+                            request: p.request,
+                            window,
+                            alternatives,
+                        },
+                    );
+                }
+                state.report.jobs_scheduled += committed as u64;
+
+                let carried: Vec<PendingJob> = state
+                    .pending
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| chosen[*i].is_none())
+                    .map(|(_, p)| *p)
+                    .collect();
+                state.report.cycles.push(CyclePoint {
+                    cycle,
+                    time: now.ticks(),
+                    market_slots,
+                    batch_size: state.pending.len(),
+                    scheduled: committed,
+                    postponed: carried.len(),
+                    mean_wait: if committed > 0 {
+                        cycle_wait as f64 / committed as f64
+                    } else {
+                        0.0
+                    },
+                    spend: cycle_spend,
+                });
+                state.pending = carried;
+                state.vacant = exec;
+            }
+
+            Event::RevocationStrike { .. } => {
+                // Sample against the live surface: vacant slots plus
+                // active lease regions, so strikes can land on windows
+                // carved by earlier repairs.
+                let lease_views: Vec<Lease> = state
+                    .leases
+                    .values()
+                    .map(|al| Lease::planned(JobId::new(al.job), al.window.clone()))
+                    .collect();
+                let revocations =
+                    state
+                        .revocation
+                        .draw_live(&state.vacant, &lease_views, &mut state.rng);
+                state.report.revocations += revocations.len() as u64;
+                if revocations.is_empty() {
+                    return Ok(());
+                }
+                for r in &revocations {
+                    state.vacant.remove_region(r.node, r.span);
+                }
+
+                let broken: Vec<u64> = state
+                    .leases
+                    .keys()
+                    .copied()
+                    .zip(lease_views.iter())
+                    .filter(|(_, view)| revocations.iter().any(|r| view.broken_by(r)))
+                    .map(|(id, _)| id)
+                    .collect();
+
+                // Broken leases release their surviving future
+                // fragments first, so later repairs can reuse the time.
+                for id in &broken {
+                    let al = &state.leases[id];
+                    for ws in al.window.slots() {
+                        let mut fragments = vec![al.window.used_span(ws)];
+                        for r in revocations.iter().filter(|r| r.node == ws.node()) {
+                            let mut survivors = Vec::new();
+                            for frag in fragments {
+                                let (left, right) = frag.subtract(r.span);
+                                survivors.extend(left);
+                                survivors.extend(right);
+                            }
+                            fragments = survivors;
+                        }
+                        for frag in fragments {
+                            if frag.end() <= now {
+                                continue; // already elapsed
+                            }
+                            let span = Span::new(frag.start().max(now), frag.end())
+                                .expect("clipped fragments are non-empty");
+                            let slot_id = state.vacant.mint_id();
+                            let slot = Slot::new(slot_id, ws.node(), ws.perf(), ws.price(), span)
+                                .expect("surviving fragments are non-empty");
+                            state
+                                .vacant
+                                .insert(slot)
+                                .expect("lease regions were held exclusively");
+                        }
+                    }
+                }
+                state.report.leases_broken += broken.len() as u64;
+
+                // Three-tier recovery, in lease-id (commitment) order.
+                for id in broken {
+                    let original = state.leases.remove(&id).expect("broken ids are live");
+                    let mut attempts: u32 = 0;
+                    let mut recovered: Option<(Window, Vec<Window>, bool)> = None;
+
+                    // Tier 1: adopt a surviving future alternative.
+                    for (alt_idx, alt) in original.alternatives.iter().enumerate() {
+                        if attempts >= self.config.repair.max_attempts {
+                            break;
+                        }
+                        if alt.start() < now {
+                            continue; // cannot launch in the past
+                        }
+                        attempts += 1;
+                        if try_adopt_window(alt, &mut state.vacant, &revocations).is_ok() {
+                            let rest: Vec<Window> = original
+                                .alternatives
+                                .iter()
+                                .enumerate()
+                                .filter(|(j, _)| *j != alt_idx)
+                                .map(|(_, w)| w.clone())
+                                .collect();
+                            recovered = Some((alt.clone(), rest, true));
+                            break;
+                        }
+                    }
+
+                    // Tier 2: bounded repair search from the broken
+                    // window's start (never the past).
+                    if recovered.is_none() && attempts < self.config.repair.max_attempts {
+                        let mut scan = ScanStats::new();
+                        let resume_at = original.window.start().max(now);
+                        if let Some(window) = repair_search(
+                            &self.selector,
+                            &original.request,
+                            resume_at,
+                            &state.vacant,
+                            &mut scan,
+                        ) {
+                            state
+                                .vacant
+                                .subtract_window(&window)
+                                .expect("repair windows are carved from the vacant list");
+                            recovered = Some((window, Vec::new(), false));
+                        }
+                    }
+
+                    // Tier 3: back to the pending queue.
+                    match recovered {
+                        Some((window, alternatives, failover)) => {
+                            if failover {
+                                state.report.failovers += 1;
+                            } else {
+                                state.report.repairs += 1;
+                            }
+                            // The old lease id dies here; its pending
+                            // completion event goes stale.
+                            self.commit_lease(
+                                &mut state.queue,
+                                &mut state.leases,
+                                &mut state.next_lease,
+                                ActiveLeaseSeed {
+                                    job: original.job,
+                                    arrival: original.arrival,
+                                    vo: original.vo,
+                                    request: original.request,
+                                    window,
+                                    alternatives,
+                                },
+                            );
+                        }
+                        None => {
+                            state.report.repostponed += 1;
+                            state.pending.push(PendingJob {
+                                id: original.job,
+                                arrival: original.arrival,
+                                vo: original.vo,
+                                request: original.request,
+                            });
+                            state.pending.sort_by_key(|p| (p.arrival, p.id));
+                        }
+                    }
+                }
+            }
+
+            Event::LeaseCompleted { lease } => {
+                let Some(al) = state.leases.remove(&lease) else {
+                    // The lease broke and was replaced after this event
+                    // was scheduled.
+                    state.report.stale_completions += 1;
+                    return Ok(());
+                };
+                state.report.jobs_completed += 1;
+                let run = al.actual_length.ticks();
+                let wait = (al.window.start() - al.arrival).ticks();
+                state.wait_sum += wait as f64;
+                state.slowdown_sum +=
+                    ((wait + run) as f64 / run.max(self.config.slowdown_tau) as f64).max(1.0);
+
+                // Unused tails (members faster than the elapsed run, or
+                // the completion-fraction shortfall) return to the
+                // vacant list via a sorted merge.
+                let mut tails: Vec<Slot> = Vec::new();
+                for ws in al.window.slots() {
+                    state.busy_ticks += ws.runtime().ticks().min(run);
+                    if ws.runtime().ticks() > run {
+                        let span = Span::new(
+                            al.window.start() + al.actual_length,
+                            al.window.start() + ws.runtime(),
+                        )
+                        .expect("tails are non-empty");
+                        let id = state.vacant.mint_id();
+                        tails.push(
+                            Slot::new(id, ws.node(), ws.perf(), ws.price(), span)
+                                .expect("tails are non-empty"),
+                        );
+                    }
+                }
+                if !tails.is_empty() {
+                    let mut merged: Vec<Slot> = state.vacant.iter().copied().chain(tails).collect();
+                    merged.sort_by_key(|s| (s.start(), s.id()));
+                    state.vacant = SlotList::from_sorted_slots(merged)
+                        .expect("returned tails are disjoint from the vacant list");
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Commits a window as a fresh lease and schedules its completion.
@@ -796,5 +1169,132 @@ mod tests {
             ..EngineConfig::default()
         };
         assert!(Engine::new(bad, Amp::new()).is_err());
+    }
+
+    #[test]
+    fn stepwise_run_matches_one_shot_run() {
+        let engine = Engine::new(small_config(), Amp::new()).unwrap();
+        let oneshot = engine.run(7).unwrap();
+        let mut state = engine.start(7);
+        let mut logged = Vec::new();
+        while let Some(entry) = engine.step(&mut state).unwrap() {
+            logged.push(entry);
+        }
+        let stepped = engine.finish(state);
+        assert_eq!(stepped, oneshot);
+        assert_eq!(logged, oneshot.log.entries);
+    }
+
+    #[test]
+    fn checkpoint_resume_converges_mid_run() {
+        let config = EngineConfig {
+            revocation: RevocationConfig::per_slot(0.05),
+            ..small_config()
+        };
+        let engine = Engine::new(config, Amp::new()).unwrap();
+        let baseline = engine.run(5).unwrap();
+
+        // Checkpoint after every event; resume from a spread of points.
+        for cut in [1usize, 3, 10, 25, 60] {
+            let mut state = engine.start(5);
+            for _ in 0..cut {
+                if engine.step(&mut state).unwrap().is_none() {
+                    break;
+                }
+            }
+            let checkpoint = engine.checkpoint(&state);
+            let mut resumed = engine.resume(&checkpoint).unwrap();
+            while engine.step(&mut resumed).unwrap().is_some() {}
+            let run = engine.finish(resumed);
+            assert_eq!(run, baseline, "divergence after resume at event {cut}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_converges_without_optimizer_cache() {
+        let config = EngineConfig {
+            optimizer_cache: false,
+            ..small_config()
+        };
+        let engine = Engine::new(config, Amp::new()).unwrap();
+        let baseline = engine.run(9).unwrap();
+        let mut state = engine.start(9);
+        for _ in 0..20 {
+            engine.step(&mut state).unwrap();
+        }
+        let checkpoint = engine.checkpoint(&state);
+        assert!(checkpoint.optimizer.is_none(), "cache off must stay cold");
+        let mut resumed = engine.resume(&checkpoint).unwrap();
+        while engine.step(&mut resumed).unwrap().is_some() {}
+        assert_eq!(engine.finish(resumed), baseline);
+    }
+
+    #[test]
+    fn resume_rejects_foreign_config() {
+        let engine = Engine::new(small_config(), Amp::new()).unwrap();
+        let mut state = engine.start(7);
+        for _ in 0..5 {
+            engine.step(&mut state).unwrap();
+        }
+        let checkpoint = engine.checkpoint(&state);
+
+        let other_config = Engine::new(
+            EngineConfig {
+                cycles: 5,
+                ..small_config()
+            },
+            Amp::new(),
+        )
+        .unwrap();
+        assert!(matches!(
+            other_config.resume(&checkpoint),
+            Err(EngineError::CheckpointMismatch { .. })
+        ));
+        let other_selector = Engine::new(small_config(), Alp::new()).unwrap();
+        assert!(matches!(
+            other_selector.resume(&checkpoint),
+            Err(EngineError::CheckpointMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn resume_rejects_malformed_rng_state() {
+        let engine = Engine::new(small_config(), Amp::new()).unwrap();
+        let state = engine.start(7);
+        let good = engine.checkpoint(&state);
+
+        let mut short_key = good.clone();
+        short_key.rng.key.pop();
+        assert!(matches!(
+            engine.resume(&short_key),
+            Err(EngineError::MalformedCheckpoint { .. })
+        ));
+
+        let mut bad_cursor = good;
+        bad_cursor.rng.cursor = 17;
+        assert!(matches!(
+            engine.resume(&bad_cursor),
+            Err(EngineError::MalformedCheckpoint { .. })
+        ));
+    }
+
+    #[test]
+    fn coalescing_reduces_market_fragmentation() {
+        let on = Engine::new(small_config(), Amp::new()).unwrap();
+        let off = Engine::new(
+            EngineConfig {
+                coalesce: false,
+                ..small_config()
+            },
+            Amp::new(),
+        )
+        .unwrap();
+        let run_on = on.run(7).unwrap();
+        let run_off = off.run(7).unwrap();
+        assert!(run_on.report.slots_coalesced > 0, "nothing coalesced");
+        assert_eq!(run_off.report.slots_coalesced, 0);
+        // Same arrivals either way; coalescing only changes the market's
+        // granularity.
+        assert_eq!(run_on.report.jobs_arrived, run_off.report.jobs_arrived);
     }
 }

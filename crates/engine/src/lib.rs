@@ -24,9 +24,13 @@ pub mod engine;
 pub mod event;
 pub mod queue;
 pub mod report;
+pub mod state;
 
 pub use config::{ArrivalConfig, EngineConfig};
-pub use engine::{Engine, EngineError, EngineRun};
+pub use engine::{Engine, EngineError, EngineRun, RunState};
 pub use event::{Event, EventLog, LogEntry};
 pub use queue::EventQueue;
 pub use report::{CyclePoint, EngineReport};
+pub use state::{
+    ArrivalState, EngineCheckpoint, LeaseState, PendingState, QueuedEventState, RngState,
+};

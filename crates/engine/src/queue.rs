@@ -79,6 +79,36 @@ impl EventQueue {
             .map(|std::cmp::Reverse(q)| (q.time, q.seq, q.event))
     }
 
+    /// The queue's resumable state: the next sequence number plus every
+    /// queued event in pop order. Non-destructive (works on a clone of the
+    /// heap).
+    #[must_use]
+    pub fn snapshot(&self) -> (u64, Vec<(TimePoint, u64, Event)>) {
+        let mut heap = self.heap.clone();
+        let mut entries = Vec::with_capacity(heap.len());
+        while let Some(std::cmp::Reverse(q)) = heap.pop() {
+            entries.push((q.time, q.seq, q.event));
+        }
+        (self.next_seq, entries)
+    }
+
+    /// Rebuilds a queue from a [`Self::snapshot`], preserving the sequence
+    /// numbers already assigned (unlike [`Self::push`], which would mint
+    /// new ones). Pop order is a pure function of the `(time, seq)` keys,
+    /// so the restored queue pops identically to the captured one.
+    pub fn restore(
+        next_seq: u64,
+        entries: impl IntoIterator<Item = (TimePoint, u64, Event)>,
+    ) -> Self {
+        EventQueue {
+            heap: entries
+                .into_iter()
+                .map(|(time, seq, event)| std::cmp::Reverse(QueuedEvent { time, seq, event }))
+                .collect(),
+            next_seq,
+        }
+    }
+
     /// Number of events still queued.
     #[must_use]
     pub fn len(&self) -> usize {

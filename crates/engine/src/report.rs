@@ -67,6 +67,10 @@ pub struct EngineReport {
     pub stale_completions: u64,
     /// Events processed before the queue drained.
     pub event_count: u64,
+    /// Adjacent same-node, same-price, same-performance vacant slots
+    /// absorbed by the cycle-commit coalescing pass (zero when
+    /// [`coalesce`](crate::EngineConfig::coalesce) is off).
+    pub slots_coalesced: u64,
     /// Combination-optimizer work counters summed over all cycle ticks
     /// (solves, dynamic-programming rows reused/rebuilt, cache residency
     /// high-water). Differs between cache-on and cache-off runs of the

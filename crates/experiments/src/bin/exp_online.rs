@@ -2,17 +2,161 @@
 //! under continuous Poisson load, calm and churn, against the legacy
 //! batch-cycle baseline.
 //!
-//! Usage: `exp_online [--seed S] [--cycles C] [--jobs J] [--churn P] [--smoke]`.
+//! Usage: `exp_online [--seed S] [--cycles C] [--jobs J] [--churn P]
+//! [--mean-gap G] [--no-coalesce] [--smoke]`.
+//!
+//! `--no-coalesce` disables the engine's cycle-commit slot coalescing —
+//! the fragmentation A/B baseline for EXPERIMENTS.md E15.
 //!
 //! `--smoke` runs the determinism smoke check used by CI: every grid cell
 //! is run twice and the process exits non-zero if any pair of identically
 //! seeded runs diverges. The output (hashes plus canonical report JSON)
 //! is itself deterministic, so CI runs the binary twice and diffs.
+//!
+//! `--mean-gap G` sets the Poisson mean inter-arrival gap in ticks
+//! (default 10), scaling the offered load without changing the job count.
+//!
+//! Crash-recovery mode runs one labelled cell (`--scenario calm|churn`,
+//! `--algo ALP|AMP`) instead of the grid:
+//!
+//! * `--single` — run it uninterrupted and print its final
+//!   `event_log_hash`/`report` lines;
+//! * `--snapshot-every N --snapshot-path P` — also write a snapshot of
+//!   the full resumable state to `P` after every N-th cycle commit;
+//! * `--kill-at-event K` — simulate a crash: stop after K events,
+//!   leaving the latest snapshot at `P` and the surviving event log at
+//!   `P.log.json`;
+//! * `--resume P` — restore from the snapshot at `P`, replay the
+//!   surviving log suffix (divergence aborts with the offending event
+//!   pair), run to completion, and print the same final lines — which,
+//!   by the determinism contract, are byte-identical to the
+//!   uninterrupted run's. CI kills a run mid-flight, resumes it, and
+//!   diffs exactly these lines.
 
+use std::path::{Path, PathBuf};
+
+use ecosched_engine::{Engine, EngineReport, Event, EventLog};
 use ecosched_experiments::arg_value;
 use ecosched_experiments::online::{
-    batch_table, online_table, run_batch_baseline, run_online, OnlineConfig,
+    batch_table, engine_config, online_table, run_batch_baseline, run_online, OnlineConfig,
 };
+use ecosched_persist::{decode_snapshot, resume_from, write_snapshot};
+use ecosched_select::{Alp, Amp, SlotSelector};
+
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("exp_online: {message}");
+    std::process::exit(2);
+}
+
+fn print_cell(scenario: &str, algo: &str, report: &EngineReport) {
+    println!(
+        "event_log_hash scenario={scenario} algo={algo} hash={}",
+        report.log_hash
+    );
+    println!(
+        "report scenario={scenario} algo={algo} {}",
+        report.to_json()
+    );
+}
+
+/// The surviving-log path that rides along with a snapshot file.
+fn log_path(snapshot: &Path) -> PathBuf {
+    PathBuf::from(format!("{}.log.json", snapshot.display()))
+}
+
+/// Runs one cell, optionally snapshotting every N-th cycle commit and
+/// optionally dying (like a crash would) after `kill_at` events.
+fn single_flow<S: SlotSelector + Copy>(
+    engine: &Engine<S>,
+    scenario: &str,
+    algo: &str,
+    seed: u64,
+    snapshot_every: u32,
+    snapshot_path: Option<&Path>,
+    kill_at: Option<u64>,
+) {
+    let mut state = engine.start(seed);
+    let mut snapshots = 0u32;
+    loop {
+        if let Some(k) = kill_at {
+            if state.events_processed() as u64 >= k {
+                let path = snapshot_path
+                    .unwrap_or_else(|| fail("--kill-at-event requires --snapshot-path"));
+                let survivors = log_path(path);
+                if let Err(e) = std::fs::write(&survivors, state.log().to_json()) {
+                    fail(format!("writing surviving log: {e}"));
+                }
+                eprintln!(
+                    "killed at event {} ({} snapshot(s) at {}, surviving log at {})",
+                    state.events_processed(),
+                    snapshots,
+                    path.display(),
+                    survivors.display()
+                );
+                return;
+            }
+        }
+        let entry = match engine.step(&mut state) {
+            Ok(Some(entry)) => entry,
+            Ok(None) => break,
+            Err(e) => fail(format!("engine failed: {e}")),
+        };
+        if snapshot_every > 0 {
+            if let Event::CycleTick { cycle } = entry.event {
+                if (cycle + 1) % snapshot_every == 0 {
+                    let path = snapshot_path
+                        .unwrap_or_else(|| fail("--snapshot-every requires --snapshot-path"));
+                    if let Err(e) = write_snapshot(path, &engine.checkpoint(&state)) {
+                        fail(format!("writing snapshot: {e}"));
+                    }
+                    snapshots += 1;
+                }
+            }
+        }
+    }
+    let run = engine.finish(state);
+    print_cell(scenario, algo, &run.report);
+}
+
+/// Restores from a snapshot, replays the surviving log suffix, runs to
+/// completion, and prints the final cell lines.
+fn resume_flow<S: SlotSelector + Copy>(
+    engine: &Engine<S>,
+    scenario: &str,
+    algo: &str,
+    snapshot_path: &Path,
+) {
+    let bytes = match std::fs::read(snapshot_path) {
+        Ok(bytes) => bytes,
+        Err(e) => fail(format!("reading {}: {e}", snapshot_path.display())),
+    };
+    let checkpoint = match decode_snapshot(&bytes) {
+        Ok(checkpoint) => checkpoint,
+        Err(e) => fail(format!("decoding {}: {e}", snapshot_path.display())),
+    };
+    let survivors = log_path(snapshot_path);
+    let suffix: Vec<_> = match std::fs::read_to_string(&survivors) {
+        Ok(json) => match serde_json::from_str::<EventLog>(&json) {
+            Ok(log) => log
+                .entries
+                .get(checkpoint.log.len()..)
+                .unwrap_or(&[])
+                .to_vec(),
+            Err(e) => fail(format!("parsing {}: {e}", survivors.display())),
+        },
+        // No surviving log: restore without replay verification.
+        Err(_) => Vec::new(),
+    };
+    eprintln!(
+        "resuming from event {} and replaying {} surviving event(s)…",
+        checkpoint.log.len(),
+        suffix.len()
+    );
+    match resume_from(engine, &bytes, &suffix) {
+        Ok(run) => print_cell(scenario, algo, &run.report),
+        Err(e) => fail(format!("recovery failed: {e}")),
+    }
+}
 
 fn main() {
     let config = OnlineConfig {
@@ -20,9 +164,64 @@ fn main() {
         cycles: arg_value("--cycles").unwrap_or(12),
         jobs: arg_value("--jobs").unwrap_or(60),
         churn: arg_value("--churn").unwrap_or(0.05),
-        ..OnlineConfig::default()
+        mean_interarrival: arg_value("--mean-gap").unwrap_or(10.0),
+        coalesce: !std::env::args().any(|a| a == "--no-coalesce"),
     };
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let single = std::env::args().any(|a| a == "--single");
+
+    let scenario: String = arg_value("--scenario").unwrap_or_else(|| "churn".to_string());
+    let algo: String = arg_value("--algo").unwrap_or_else(|| "AMP".to_string());
+    let snapshot_every: u32 = arg_value("--snapshot-every").unwrap_or(0);
+    let snapshot_path: Option<PathBuf> = arg_value::<String>("--snapshot-path").map(PathBuf::from);
+    let kill_at: Option<u64> = arg_value("--kill-at-event");
+    let resume: Option<PathBuf> = arg_value::<String>("--resume").map(PathBuf::from);
+
+    if !matches!(scenario.as_str(), "calm" | "churn") {
+        fail("--scenario must be calm or churn");
+    }
+    if !matches!(algo.as_str(), "ALP" | "AMP") {
+        fail("--algo must be ALP or AMP");
+    }
+
+    if single || resume.is_some() || kill_at.is_some() || snapshot_every > 0 {
+        let engine_cfg = engine_config(&config, scenario == "churn");
+        match (algo.as_str(), &resume) {
+            ("ALP", Some(path)) => {
+                let engine = Engine::new(engine_cfg, Alp::new()).expect("valid config");
+                resume_flow(&engine, &scenario, &algo, path);
+            }
+            ("ALP", None) => {
+                let engine = Engine::new(engine_cfg, Alp::new()).expect("valid config");
+                single_flow(
+                    &engine,
+                    &scenario,
+                    &algo,
+                    config.seed,
+                    snapshot_every,
+                    snapshot_path.as_deref(),
+                    kill_at,
+                );
+            }
+            (_, Some(path)) => {
+                let engine = Engine::new(engine_cfg, Amp::new()).expect("valid config");
+                resume_flow(&engine, &scenario, &algo, path);
+            }
+            (_, None) => {
+                let engine = Engine::new(engine_cfg, Amp::new()).expect("valid config");
+                single_flow(
+                    &engine,
+                    &scenario,
+                    &algo,
+                    config.seed,
+                    snapshot_every,
+                    snapshot_path.as_deref(),
+                    kill_at,
+                );
+            }
+        }
+        return;
+    }
 
     if smoke {
         let first = run_online(&config);
@@ -59,8 +258,8 @@ fn main() {
     }
 
     eprintln!(
-        "running online grid (seed {}, {} cycles, {} jobs, churn {})…",
-        config.seed, config.cycles, config.jobs, config.churn
+        "running online grid (seed {}, {} cycles, {} jobs, churn {}, mean gap {})…",
+        config.seed, config.cycles, config.jobs, config.churn, config.mean_interarrival
     );
     let online = run_online(&config);
     println!("E15 — online metascheduling over a virtual clock (discrete-event engine)\n");

@@ -31,6 +31,9 @@ pub struct OnlineConfig {
     pub mean_interarrival: f64,
     /// Per-slot revocation probability for the churn scenario.
     pub churn: f64,
+    /// Coalesce adjacent vacant slots at each cycle commit (the engine
+    /// default); `false` runs the fragmentation A/B baseline.
+    pub coalesce: bool,
 }
 
 impl Default for OnlineConfig {
@@ -41,6 +44,7 @@ impl Default for OnlineConfig {
             jobs: 60,
             mean_interarrival: 10.0,
             churn: 0.05,
+            coalesce: true,
         }
     }
 }
@@ -71,6 +75,7 @@ pub fn engine_config(config: &OnlineConfig, churn: bool) -> EngineConfig {
             jobs: config.jobs,
             job_gen: JobGenConfig::default(),
         },
+        coalesce: config.coalesce,
         ..EngineConfig::default()
     }
 }

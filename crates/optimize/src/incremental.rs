@@ -132,9 +132,10 @@ fn chain(job_fp: u64, neighbor: u64) -> u64 {
 struct RowEntry {
     suffix_fp: u64,
     row: Vec<Option<i64>>,
-    /// Structural copy of the items the row was built from, kept in debug
-    /// builds to catch fingerprint collisions / stale reuse outright.
-    #[cfg(debug_assertions)]
+    /// Structural copy of the items the row was built from. Debug builds
+    /// check it against the live alternative set to catch fingerprint
+    /// collisions / stale reuse outright; snapshot export carries it so a
+    /// restored cache can keep making the same check.
     items: Vec<Item>,
 }
 
@@ -270,7 +271,6 @@ impl DpCache {
             fresh.push(RowEntry {
                 suffix_fp: suffix_fps[i],
                 row: dp::compute_row(&items[i], next, target, self.sense),
-                #[cfg(debug_assertions)]
                 items: items[i].clone(),
             });
         }
@@ -282,6 +282,115 @@ impl DpCache {
         let mut rows: Vec<&[Option<i64>]> = self.entries.iter().map(|e| e.row.as_slice()).collect();
         rows.push(&base);
         dp::reconstruct_choices(items, &rows, cap)
+    }
+}
+
+/// A plain-data export of one cached DP row: the fingerprint, the row
+/// values, and the (weight, value) items the row was built from, as
+/// parallel vectors.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RowSnapshot {
+    /// The chained suffix fingerprint keying the row.
+    pub suffix_fp: u64,
+    /// The row values (`None` marks an unreachable capacity).
+    pub row: Vec<Option<i64>>,
+    /// Item weights, parallel to `values`.
+    pub weights: Vec<i64>,
+    /// Item values, parallel to `weights`.
+    pub values: Vec<i64>,
+}
+
+/// A plain-data export of one backward-run row cache.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DpCacheSnapshot {
+    /// Columns − 1 every cached row spans.
+    pub width: u64,
+    /// The cached rows, front (row 0) first.
+    pub rows: Vec<RowSnapshot>,
+}
+
+/// A plain-data export of one cached Pareto point.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrontierPointSnapshot {
+    /// Total cost in micro-credits.
+    pub cost_micro: i64,
+    /// Total time in ticks.
+    pub time_ticks: i64,
+    /// Alternative index chosen for the layer's job.
+    pub alt: u64,
+    /// Index of the predecessor point in the previous layer.
+    pub parent: u64,
+}
+
+/// A plain-data export of one cached Pareto layer.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrontierLayerSnapshot {
+    /// The chained prefix fingerprint keying the layer.
+    pub prefix_fp: u64,
+    /// The layer's Pareto points, in frontier order.
+    pub points: Vec<FrontierPointSnapshot>,
+}
+
+/// A resumable export of an [`IncrementalOptimizer`]'s full cached state —
+/// DP rows per criterion, Pareto layers, and work counters. Restoring it
+/// with [`IncrementalOptimizer::from_snapshot`] yields an optimizer whose
+/// subsequent solves (results *and* [`OptStats`] deltas) are identical to
+/// the captured one's.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OptimizerSnapshot {
+    /// The `min C(s̄) s.t. T ≤ T*` row cache.
+    pub cost_min: DpCacheSnapshot,
+    /// The `max C(s̄) s.t. T ≤ T*` row cache.
+    pub cost_max: DpCacheSnapshot,
+    /// The `min T(s̄) s.t. C ≤ B*` row cache.
+    pub time_min: DpCacheSnapshot,
+    /// The money resolution (micro-credits) the `time_min` rows were
+    /// quantized at; zero when that cache is untouched.
+    pub time_min_resolution: i64,
+    /// The Pareto layer-size cap in force.
+    pub frontier_cap: u64,
+    /// The cached Pareto layers, front first.
+    pub frontier_layers: Vec<FrontierLayerSnapshot>,
+    /// Cumulative work counters at capture time.
+    pub stats: OptStats,
+}
+
+impl DpCache {
+    fn snapshot(&self) -> DpCacheSnapshot {
+        DpCacheSnapshot {
+            width: self.width as u64,
+            rows: self
+                .entries
+                .iter()
+                .map(|e| RowSnapshot {
+                    suffix_fp: e.suffix_fp,
+                    row: e.row.clone(),
+                    weights: e.items.iter().map(|i| i.weight).collect(),
+                    values: e.items.iter().map(|i| i.value).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    fn restore(sense: Sense, snapshot: &DpCacheSnapshot) -> Self {
+        DpCache {
+            sense,
+            entries: snapshot
+                .rows
+                .iter()
+                .map(|r| RowEntry {
+                    suffix_fp: r.suffix_fp,
+                    row: r.row.clone(),
+                    items: r
+                        .weights
+                        .iter()
+                        .zip(&r.values)
+                        .map(|(&weight, &value)| Item { weight, value })
+                        .collect(),
+                })
+                .collect(),
+            width: snapshot.width as usize,
+        }
     }
 }
 
@@ -416,6 +525,72 @@ impl IncrementalOptimizer {
     #[must_use]
     pub fn stats(&self) -> OptStats {
         self.stats
+    }
+
+    /// Exports the full cached state as plain serializable data, for
+    /// checkpointing. See [`OptimizerSnapshot`].
+    #[must_use]
+    pub fn snapshot(&self) -> OptimizerSnapshot {
+        OptimizerSnapshot {
+            cost_min: self.cost_min.snapshot(),
+            cost_max: self.cost_max.snapshot(),
+            time_min: self.time_min.snapshot(),
+            time_min_resolution: self.time_min_resolution,
+            frontier_cap: self.frontier.cap as u64,
+            frontier_layers: self
+                .frontier
+                .layers
+                .iter()
+                .map(|l| FrontierLayerSnapshot {
+                    prefix_fp: l.prefix_fp,
+                    points: l
+                        .layer
+                        .iter()
+                        .map(|p| FrontierPointSnapshot {
+                            cost_micro: p.cost.micro(),
+                            time_ticks: p.time.ticks(),
+                            alt: p.alt as u64,
+                            parent: p.parent as u64,
+                        })
+                        .collect(),
+                })
+                .collect(),
+            stats: self.stats,
+        }
+    }
+
+    /// Rebuilds an optimizer from a [`Self::snapshot`] export. The restored
+    /// optimizer's subsequent solves produce the same results and the same
+    /// [`OptStats`] deltas as the captured one's would have.
+    #[must_use]
+    pub fn from_snapshot(snapshot: &OptimizerSnapshot) -> Self {
+        IncrementalOptimizer {
+            cost_min: DpCache::restore(Sense::Minimize, &snapshot.cost_min),
+            cost_max: DpCache::restore(Sense::Maximize, &snapshot.cost_max),
+            time_min: DpCache::restore(Sense::Minimize, &snapshot.time_min),
+            time_min_resolution: snapshot.time_min_resolution,
+            frontier: FrontierCache {
+                cap: snapshot.frontier_cap as usize,
+                layers: snapshot
+                    .frontier_layers
+                    .iter()
+                    .map(|l| FrontierLayer {
+                        prefix_fp: l.prefix_fp,
+                        layer: l
+                            .points
+                            .iter()
+                            .map(|p| Point {
+                                cost: Money::from_micro(p.cost_micro),
+                                time: TimeDelta::new(p.time_ticks),
+                                alt: p.alt as usize,
+                                parent: p.parent as usize,
+                            })
+                            .collect(),
+                    })
+                    .collect(),
+            },
+            stats: snapshot.stats,
+        }
     }
 
     /// Drops all cached rows and layers (counters are kept).
@@ -810,6 +985,72 @@ mod tests {
             a,
             min_cost_under_time_naive(&t, TimeDelta::new(50)).unwrap()
         );
+    }
+
+    /// Warms an optimizer across all three DP criteria plus the Pareto
+    /// frontier so a snapshot carries non-trivial state everywhere.
+    fn warmed() -> (Vec<JobAlternatives>, IncrementalOptimizer) {
+        let t = table();
+        let mut opt = IncrementalOptimizer::new();
+        opt.min_cost_under_time(&t, TimeDelta::new(110)).unwrap();
+        opt.max_cost_under_time(&t, TimeDelta::new(90)).unwrap();
+        opt.min_time_under_budget(&t, Money::from_credits(15), Money::from_credits(1))
+            .unwrap();
+        opt.pareto_min_time_under_budget(&t, Money::from_credits(20))
+            .unwrap();
+        (t, opt)
+    }
+
+    #[test]
+    fn snapshot_restore_is_behavior_identical() {
+        let (mut t, mut original) = warmed();
+        let mut restored = IncrementalOptimizer::from_snapshot(&original.snapshot());
+        assert_eq!(restored.stats(), original.stats());
+
+        // A front mutation followed by re-solves: both optimizers must do
+        // the same work (stats) and return the same assignments.
+        t[0] = alts(0, &[(7, 12), (2, 40)]);
+        let a = original
+            .min_cost_under_time(&t, TimeDelta::new(110))
+            .unwrap();
+        let b = restored
+            .min_cost_under_time(&t, TimeDelta::new(110))
+            .unwrap();
+        assert_eq!(a, b);
+        let a = original
+            .pareto_min_time_under_budget(&t, Money::from_credits(18))
+            .unwrap();
+        let b = restored
+            .pareto_min_time_under_budget(&t, Money::from_credits(18))
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            restored.stats(),
+            original.stats(),
+            "a restored cache must reuse and rebuild exactly what the \
+             original would"
+        );
+    }
+
+    #[test]
+    fn snapshot_serializes_round_trip() {
+        let (_, opt) = warmed();
+        let snapshot = opt.snapshot();
+        let json = serde_json::to_string(&snapshot).unwrap();
+        let back: OptimizerSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snapshot);
+        // The restored optimizer re-exports the same snapshot.
+        assert_eq!(
+            IncrementalOptimizer::from_snapshot(&back).snapshot(),
+            snapshot
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_restores_a_cold_optimizer() {
+        let cold = IncrementalOptimizer::new();
+        let restored = IncrementalOptimizer::from_snapshot(&cold.snapshot());
+        assert_eq!(restored.snapshot(), cold.snapshot());
     }
 
     #[test]

@@ -82,7 +82,9 @@ pub use assignment::{Assignment, Choice};
 pub use dp::{max_cost_under_time_naive, min_cost_under_time_naive, min_time_under_budget_naive};
 pub use error::OptimizeError;
 pub use incremental::{
-    max_cost_under_time, min_cost_under_time, min_time_under_budget, IncrementalOptimizer, OptStats,
+    max_cost_under_time, min_cost_under_time, min_time_under_budget, DpCacheSnapshot,
+    FrontierLayerSnapshot, FrontierPointSnapshot, IncrementalOptimizer, OptStats,
+    OptimizerSnapshot, RowSnapshot,
 };
 pub use limits::{time_quota, vo_budget, vo_budget_with_quota};
 pub use pareto::{ParetoFrontier, DEFAULT_FRONTIER_CAP};

@@ -1,0 +1,198 @@
+//! Resuming a run from a checkpoint and replaying its event-log suffix.
+//!
+//! Recovery after a crash has two phases:
+//!
+//! 1. **Restore**: rebuild a [`RunState`] from the latest snapshot via
+//!    [`Engine::resume`] (refused under a mismatched configuration).
+//! 2. **Replay**: the crashed process typically logged events *after*
+//!    the snapshot was taken. Stepping the restored state regenerates
+//!    those events — determinism makes replay regeneration, not
+//!    re-application — and [`resume_and_replay`] checks each regenerated
+//!    entry against the surviving log suffix. The first mismatch aborts
+//!    with [`ReplayError::Diverged`] naming the offending pair: the
+//!    suffix came from a different configuration, a different build, or
+//!    a corrupted log, and continuing would silently fork history.
+//!
+//! After the suffix is exhausted the run simply continues; by the same
+//! determinism argument the continuation — final report, full event log,
+//! and log hash — is byte-identical to the run that never crashed.
+
+use ecosched_engine::engine::RunState;
+use ecosched_engine::{Engine, EngineCheckpoint, EngineError, EngineRun, Event, LogEntry};
+use ecosched_select::SlotSelector;
+
+use crate::format::PersistError;
+use crate::snapshot::decode_snapshot;
+
+/// Errors from resume-and-replay.
+#[derive(Debug)]
+pub enum ReplayError {
+    /// The snapshot bytes failed to decode.
+    Persist(PersistError),
+    /// The engine refused the checkpoint or failed while stepping.
+    Engine(EngineError),
+    /// A regenerated event disagreed with the stored log suffix. The
+    /// index is in whole-run coordinates (position in the full event
+    /// log).
+    Diverged {
+        /// Index of the first mismatching event.
+        index: u64,
+        /// The entry the stored suffix expected.
+        expected: LogEntry,
+        /// The entry the resumed run actually produced.
+        actual: LogEntry,
+    },
+    /// The resumed run drained its queue while the stored suffix still
+    /// expected more events — divergence by early termination.
+    RunEnded {
+        /// Index of the expected-but-missing event.
+        index: u64,
+        /// The entry the stored suffix expected.
+        expected: LogEntry,
+    },
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Persist(e) => write!(f, "{e}"),
+            ReplayError::Engine(e) => write!(f, "{e}"),
+            ReplayError::Diverged {
+                index,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "replay diverged at event {index}: log has {expected:?}, run produced {actual:?}"
+            ),
+            ReplayError::RunEnded { index, expected } => write!(
+                f,
+                "replay ended early: log expects {expected:?} at event {index}, queue drained"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReplayError::Persist(e) => Some(e),
+            ReplayError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PersistError> for ReplayError {
+    fn from(e: PersistError) -> Self {
+        ReplayError::Persist(e)
+    }
+}
+
+impl From<EngineError> for ReplayError {
+    fn from(e: EngineError) -> Self {
+        ReplayError::Engine(e)
+    }
+}
+
+/// Restores a run from a checkpoint and replays a log suffix against it,
+/// verifying every regenerated event. Returns the state positioned just
+/// past the suffix, ready to continue to completion.
+///
+/// The suffix is the tail the crashed process logged *after* the
+/// checkpoint was taken (entries `checkpoint.log.len()..` of its log);
+/// pass an empty suffix to restore without verification.
+///
+/// # Errors
+///
+/// [`ReplayError::Engine`] when the checkpoint is refused or a step
+/// fails; [`ReplayError::Diverged`] / [`ReplayError::RunEnded`] at the
+/// first disagreement between the regenerated events and the suffix.
+pub fn resume_and_replay<S: SlotSelector + Copy>(
+    engine: &Engine<S>,
+    checkpoint: &EngineCheckpoint,
+    log_suffix: &[LogEntry],
+) -> Result<RunState, ReplayError> {
+    let mut state = engine.resume(checkpoint)?;
+    let base = checkpoint.log.len() as u64;
+    for (i, expected) in log_suffix.iter().enumerate() {
+        let index = base + i as u64;
+        match engine.step(&mut state)? {
+            Some(actual) if actual == *expected => {}
+            Some(actual) => {
+                return Err(ReplayError::Diverged {
+                    index,
+                    expected: *expected,
+                    actual,
+                })
+            }
+            None => {
+                return Err(ReplayError::RunEnded {
+                    index,
+                    expected: *expected,
+                })
+            }
+        }
+    }
+    Ok(state)
+}
+
+/// One-call crash recovery: decodes snapshot bytes, restores, replays
+/// the surviving log suffix, and runs the rest of the simulation.
+///
+/// # Errors
+///
+/// [`ReplayError::Persist`] for container/decoding failures, then the
+/// failure modes of [`resume_and_replay`].
+pub fn resume_from<S: SlotSelector + Copy>(
+    engine: &Engine<S>,
+    snapshot: &[u8],
+    log_suffix: &[LogEntry],
+) -> Result<EngineRun, ReplayError> {
+    let checkpoint = decode_snapshot(snapshot)?;
+    let state = resume_and_replay(engine, &checkpoint, log_suffix)?;
+    Ok(run_to_completion(engine, state)?)
+}
+
+/// Steps a state until the queue drains, then closes the books.
+///
+/// # Errors
+///
+/// Propagates [`EngineError`] from any step.
+pub fn run_to_completion<S: SlotSelector + Copy>(
+    engine: &Engine<S>,
+    mut state: RunState,
+) -> Result<EngineRun, EngineError> {
+    while engine.step(&mut state)?.is_some() {}
+    Ok(engine.finish(state))
+}
+
+/// Runs a full simulation, capturing a checkpoint after every
+/// `every_cycles`-th `CycleTick` commit (the cadence `exp_online
+/// --snapshot-every` exposes). `every_cycles == 0` captures nothing.
+///
+/// Returns the finished run plus the checkpoints in capture order —
+/// exactly what a crash-recovery harness needs to restore from "the
+/// latest snapshot before the kill point".
+///
+/// # Errors
+///
+/// Propagates [`EngineError`] from any step.
+pub fn run_with_snapshots<S: SlotSelector + Copy>(
+    engine: &Engine<S>,
+    seed: u64,
+    every_cycles: u32,
+) -> Result<(EngineRun, Vec<EngineCheckpoint>), EngineError> {
+    let mut state = engine.start(seed);
+    let mut snapshots = Vec::new();
+    while let Some(entry) = engine.step(&mut state)? {
+        if every_cycles > 0 {
+            if let Event::CycleTick { cycle } = entry.event {
+                if (cycle + 1) % every_cycles == 0 {
+                    snapshots.push(engine.checkpoint(&state));
+                }
+            }
+        }
+    }
+    Ok((engine.finish(state), snapshots))
+}

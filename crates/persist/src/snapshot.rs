@@ -1,0 +1,120 @@
+//! Writing and reading engine checkpoints as snapshot files.
+//!
+//! A snapshot is a two-section [`format`](crate::format) container:
+//!
+//! * `META` — a small JSON header ([`SnapshotMeta`]) identifying the run
+//!   (seed, configuration fingerprint, progress) without the cost of
+//!   parsing the full state;
+//! * `CKPT` — the canonical JSON of the engine's
+//!   [`EngineCheckpoint`], the complete resumable state.
+//!
+//! Both payloads are checksummed by the container, so a flipped bit or a
+//! short write surfaces as a typed [`PersistError`] at read time.
+
+use std::path::Path;
+
+use ecosched_engine::EngineCheckpoint;
+use serde::{Deserialize, Serialize};
+
+use crate::format::{decode, encode, require, PersistError, SectionTag};
+
+/// The section holding the [`SnapshotMeta`] JSON.
+pub const META_SECTION: SectionTag = SectionTag(*b"META");
+/// The section holding the [`EngineCheckpoint`] JSON.
+pub const CHECKPOINT_SECTION: SectionTag = SectionTag(*b"CKPT");
+
+/// The cheap-to-read identity header of a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotMeta {
+    /// The seed the captured run was started with.
+    pub seed: u64,
+    /// The `(config, selector)` fingerprint the checkpoint was taken
+    /// under; resume requires an engine with the same fingerprint.
+    pub config_fp: u64,
+    /// Events the captured run had processed.
+    pub events_processed: u64,
+    /// Future events still queued at capture time.
+    pub events_queued: u64,
+}
+
+impl SnapshotMeta {
+    /// Builds the header for a checkpoint.
+    #[must_use]
+    pub fn of(checkpoint: &EngineCheckpoint) -> Self {
+        SnapshotMeta {
+            seed: checkpoint.seed,
+            config_fp: checkpoint.config_fp,
+            events_processed: checkpoint.log.len() as u64,
+            events_queued: checkpoint.queue.len() as u64,
+        }
+    }
+}
+
+fn parse_section<T: for<'de> Deserialize<'de>>(
+    section: SectionTag,
+    payload: &[u8],
+) -> Result<T, PersistError> {
+    let text = std::str::from_utf8(payload).map_err(|e| PersistError::Corrupt {
+        section,
+        detail: format!("payload is not UTF-8: {e}"),
+    })?;
+    serde_json::from_str(text).map_err(|e| PersistError::Corrupt {
+        section,
+        detail: format!("payload is not a valid {}: {e}", std::any::type_name::<T>()),
+    })
+}
+
+/// Serializes a checkpoint into snapshot bytes.
+#[must_use]
+pub fn encode_snapshot(checkpoint: &EngineCheckpoint) -> Vec<u8> {
+    let meta = serde_json::to_string(&SnapshotMeta::of(checkpoint)).unwrap_or_default();
+    let state = serde_json::to_string(checkpoint).unwrap_or_default();
+    encode(&[
+        (META_SECTION, meta.as_bytes()),
+        (CHECKPOINT_SECTION, state.as_bytes()),
+    ])
+}
+
+/// Parses snapshot bytes back into a checkpoint, verifying the container
+/// header and every checksum.
+///
+/// # Errors
+///
+/// Any [`PersistError`] from the container layer, or
+/// [`PersistError::Corrupt`] when a payload passes its checksum but is
+/// not valid checkpoint JSON.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<EngineCheckpoint, PersistError> {
+    let sections = decode(bytes)?;
+    parse_section(CHECKPOINT_SECTION, require(&sections, CHECKPOINT_SECTION)?)
+}
+
+/// Reads only the identity header of snapshot bytes — cheap relative to
+/// the full state, for "which run is this?" inspection.
+///
+/// # Errors
+///
+/// Same failure modes as [`decode_snapshot`].
+pub fn peek_meta(bytes: &[u8]) -> Result<SnapshotMeta, PersistError> {
+    let sections = decode(bytes)?;
+    parse_section(META_SECTION, require(&sections, META_SECTION)?)
+}
+
+/// Writes a checkpoint to a snapshot file.
+///
+/// # Errors
+///
+/// [`PersistError::Io`] when the write fails.
+pub fn write_snapshot(path: &Path, checkpoint: &EngineCheckpoint) -> Result<(), PersistError> {
+    std::fs::write(path, encode_snapshot(checkpoint))?;
+    Ok(())
+}
+
+/// Reads a checkpoint from a snapshot file.
+///
+/// # Errors
+///
+/// [`PersistError::Io`] when the read fails; otherwise the failure modes
+/// of [`decode_snapshot`].
+pub fn read_snapshot(path: &Path) -> Result<EngineCheckpoint, PersistError> {
+    decode_snapshot(&std::fs::read(path)?)
+}

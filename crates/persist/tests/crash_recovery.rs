@@ -1,0 +1,200 @@
+//! Crash-recovery fault injection: kill a run at an arbitrary event
+//! index, restore from the latest snapshot at or before the kill point,
+//! replay the surviving log suffix, and assert the completed run is
+//! byte-identical — final report, full event log, and log hash — to the
+//! run that never crashed.
+//!
+//! Coverage axes: Poisson and SWF-trace arrivals, revocation on/off,
+//! optimizer cache on/off, ALP and AMP selectors, the determinism-suite
+//! seeds, and proptest-driven random kill points.
+
+use ecosched_engine::{ArrivalConfig, Engine, EngineConfig, LogEntry};
+use ecosched_persist::{encode_snapshot, resume_from, run_with_snapshots};
+use ecosched_select::{Alp, Amp, SlotSelector};
+use ecosched_sim::swf::{parse_swf, SwfImportConfig};
+use ecosched_sim::{JobGenConfig, RevocationConfig};
+use proptest::prelude::*;
+
+fn poisson_config(churn: bool, cache: bool) -> EngineConfig {
+    EngineConfig {
+        cycles: 5,
+        revocation: if churn {
+            RevocationConfig::per_slot(0.05)
+        } else {
+            RevocationConfig::none()
+        },
+        optimizer_cache: cache,
+        arrivals: ArrivalConfig::Poisson {
+            mean_interarrival: 8.0,
+            jobs: 20,
+            job_gen: JobGenConfig::default(),
+        },
+        ..EngineConfig::default()
+    }
+}
+
+fn trace_config(churn: bool, cache: bool) -> EngineConfig {
+    let trace = parse_swf(
+        "1 0 5 3600 4 -1 -1 4 3600 -1 1 1 1 1 1 1 -1 -1\n\
+         2 30 5 1800 2 -1 -1 2 2400 -1 1 1 1 1 1 1 -1 -1\n\
+         3 90 5 1200 1 -1 -1 1 1200 -1 1 1 1 1 1 1 -1 -1\n\
+         4 150 5 2400 2 -1 -1 2 3000 -1 1 1 1 1 1 1 -1 -1\n\
+         5 200 5 1800 3 -1 -1 3 2000 -1 1 1 1 1 1 1 -1 -1\n",
+    )
+    .expect("static trace parses");
+    EngineConfig {
+        cycles: 4,
+        revocation: if churn {
+            RevocationConfig::per_slot(0.05)
+        } else {
+            RevocationConfig::none()
+        },
+        optimizer_cache: cache,
+        arrivals: ArrivalConfig::Trace {
+            trace,
+            import: SwfImportConfig::default(),
+        },
+        ..EngineConfig::default()
+    }
+}
+
+/// The full kill/restore/replay cycle against one engine and seed:
+///
+/// 1. the uninterrupted run is the ground truth (and, by determinism,
+///    exactly what the "crashed" process observed up to the kill);
+/// 2. the crashed process died after logging `kill_at` events, holding
+///    snapshots from every cycle commit before that point;
+/// 3. recovery restores the latest usable snapshot (through its *bytes*,
+///    exercising the container), replays the suffix the crashed process
+///    had logged after the capture, and runs to completion.
+fn assert_recovery_converges<S: SlotSelector + Copy>(
+    engine: &Engine<S>,
+    seed: u64,
+    kill_at: usize,
+) {
+    let (baseline, snapshots) = run_with_snapshots(engine, seed, 1).expect("baseline run");
+    assert!(
+        !snapshots.is_empty(),
+        "every config here has at least one cycle commit"
+    );
+    let kill_at = kill_at.min(baseline.log.entries.len());
+
+    let Some(checkpoint) = snapshots.iter().rev().find(|c| c.log.len() <= kill_at) else {
+        // Killed before the first snapshot existed: recovery is a
+        // restart, which determinism already covers.
+        let rerun = engine.run(seed).expect("restart run");
+        assert_eq!(rerun, baseline);
+        return;
+    };
+
+    let suffix: Vec<LogEntry> = baseline.log.entries[checkpoint.log.len()..kill_at].to_vec();
+    let bytes = encode_snapshot(checkpoint);
+    let recovered = resume_from(engine, &bytes, &suffix).expect("recovery");
+
+    assert_eq!(
+        recovered.report.log_hash, baseline.report.log_hash,
+        "log hash diverged (seed {seed}, kill {kill_at})"
+    );
+    assert_eq!(
+        recovered.log.to_json(),
+        baseline.log.to_json(),
+        "event log diverged (seed {seed}, kill {kill_at})"
+    );
+    assert_eq!(
+        recovered.report.to_json(),
+        baseline.report.to_json(),
+        "report diverged (seed {seed}, kill {kill_at})"
+    );
+    assert_eq!(recovered, baseline);
+}
+
+/// Every seed of the engine determinism suite converges through
+/// crash-recovery, with the optimizer cache on and off, under both
+/// selectors, killing at a spread of points.
+#[test]
+fn determinism_seeds_converge_after_crash() {
+    for seed in [42u64, 17, 9, 1, 2, 23] {
+        for cache in [true, false] {
+            let engine = Engine::new(poisson_config(true, cache), Amp::new()).expect("config");
+            for kill_at in [5usize, 30, 80, usize::MAX] {
+                assert_recovery_converges(&engine, seed, kill_at);
+            }
+        }
+    }
+}
+
+#[test]
+fn alp_selector_converges_after_crash() {
+    let engine = Engine::new(poisson_config(true, true), Alp::new()).expect("config");
+    for seed in [42u64, 17] {
+        for kill_at in [10usize, 50] {
+            assert_recovery_converges(&engine, seed, kill_at);
+        }
+    }
+}
+
+#[test]
+fn trace_arrivals_converge_after_crash() {
+    for churn in [false, true] {
+        for cache in [true, false] {
+            let engine = Engine::new(trace_config(churn, cache), Amp::new()).expect("config");
+            for kill_at in [8usize, 25, usize::MAX] {
+                assert_recovery_converges(&engine, 9, kill_at);
+            }
+        }
+    }
+}
+
+/// The cache-on and cache-off recoveries of the same seed also agree
+/// with *each other* on everything but the work counters — recovery must
+/// not leak cache state into the schedule.
+#[test]
+fn recovered_runs_agree_across_cache_modes() {
+    let seed = 42u64;
+    let mut reports = Vec::new();
+    for cache in [true, false] {
+        let engine = Engine::new(poisson_config(true, cache), Amp::new()).expect("config");
+        let (baseline, snapshots) = run_with_snapshots(&engine, seed, 1).expect("baseline");
+        let checkpoint = snapshots.last().expect("at least one snapshot");
+        let suffix: Vec<LogEntry> = baseline.log.entries[checkpoint.log.len()..].to_vec();
+        let recovered =
+            resume_from(&engine, &encode_snapshot(checkpoint), &suffix).expect("recovery");
+        assert_eq!(recovered, baseline);
+        let mut report = recovered.report;
+        report.opt = Default::default();
+        reports.push(report);
+    }
+    assert_eq!(reports[0].to_json(), reports[1].to_json());
+}
+
+proptest! {
+    // Each case is two full engine runs plus a replayed recovery; keep
+    // the count small (CI raises PROPTEST_CASES for the dedicated job).
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Recovery converges for random seeds, kill points, and fault axes.
+    #[test]
+    fn random_kills_converge(
+        seed in 0u64..100_000,
+        kill_at in 0usize..200,
+        churn in any::<bool>(),
+        cache in any::<bool>(),
+        poisson in any::<bool>(),
+    ) {
+        let config = if poisson {
+            EngineConfig {
+                cycles: 3,
+                arrivals: ArrivalConfig::Poisson {
+                    mean_interarrival: 10.0,
+                    jobs: 10,
+                    job_gen: JobGenConfig::default(),
+                },
+                ..poisson_config(churn, cache)
+            }
+        } else {
+            trace_config(churn, cache)
+        };
+        let engine = Engine::new(config, Amp::new()).expect("config");
+        assert_recovery_converges(&engine, seed, kill_at);
+    }
+}

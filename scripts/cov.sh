@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
-# Line coverage for the combination-optimizer crate.
+# Line coverage for the combination-optimizer and persistence crates.
 #
 # Requires cargo-llvm-cov (https://github.com/taiki-e/cargo-llvm-cov);
-# CI installs it via taiki-e/install-action. The number is a recorded
-# baseline, not a ratchet — see COVERAGE.md for the last recorded value.
+# CI installs it via taiki-e/install-action. The numbers are recorded
+# baselines, not ratchets — see COVERAGE.md for the last recorded values.
 set -euo pipefail
 
 if ! cargo llvm-cov --version >/dev/null 2>&1; then
@@ -13,4 +13,4 @@ if ! cargo llvm-cov --version >/dev/null 2>&1; then
 fi
 
 cd "$(dirname "$0")/.."
-exec cargo llvm-cov -p ecosched-optimize --summary-only "$@"
+exec cargo llvm-cov -p ecosched-optimize -p ecosched-persist --summary-only "$@"
