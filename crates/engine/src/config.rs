@@ -111,6 +111,14 @@ pub struct EngineConfig {
     /// The bounded-slowdown threshold τ in ticks:
     /// `max((wait + run) / max(run, τ), 1)`.
     pub slowdown_tau: i64,
+    /// Worker threads for each cycle's scheduling iteration (alternatives
+    /// scans and DP row construction fan out across this many workers).
+    /// An execution knob, **never** an outcome knob: the engine report and
+    /// event-log hash are byte-identical at every thread count, and the
+    /// configuration fingerprint normalizes `threads` to 1 before hashing
+    /// so recorded runs replay regardless of the machine they were
+    /// captured on. Default 1 (fully sequential, today's behavior).
+    pub threads: usize,
     /// The job stream.
     pub arrivals: ArrivalConfig,
 }
@@ -131,6 +139,7 @@ impl Default for EngineConfig {
             vos: 3,
             completion_fraction: 0.75,
             slowdown_tau: 10,
+            threads: 1,
             arrivals: ArrivalConfig::Poisson {
                 mean_interarrival: 12.0,
                 jobs: 40,
@@ -168,6 +177,9 @@ impl EngineConfig {
                 field: "slowdown_tau",
             });
         }
+        if self.threads == 0 {
+            return Err(ConfigError::NotPositive { field: "threads" });
+        }
         self.slot_gen.validate()?;
         self.revocation.validate()?;
         self.arrivals.validate()
@@ -204,6 +216,14 @@ mod tests {
             Err(ConfigError::NotAProbability {
                 field: "completion_fraction"
             })
+        );
+        let bad = EngineConfig {
+            threads: 0,
+            ..EngineConfig::default()
+        };
+        assert_eq!(
+            bad.validate(),
+            Err(ConfigError::NotPositive { field: "threads" })
         );
         let bad = EngineConfig {
             arrivals: ArrivalConfig::Poisson {

@@ -43,8 +43,8 @@ use ecosched_optimize::IncrementalOptimizer;
 use ecosched_select::{repair_search, try_adopt_window, ScanStats, SlotSelector};
 use ecosched_sim::swf::batch_from_swf;
 use ecosched_sim::{
-    run_iteration, run_iteration_cached, ConfigError, IterationError, JobGenerator,
-    RevocationModel, SlotGenerator,
+    run_iteration_cached_with, run_iteration_with, ConfigError, IterationError, JobGenerator,
+    Parallelism, RevocationModel, SlotGenerator,
 };
 use rand::{Rng, SeedableRng};
 use rand_chacha::{ChaCha8Rng, ChaChaState};
@@ -263,9 +263,15 @@ impl<S: SlotSelector + Copy> Engine<S> {
     /// Checkpoints carry this value; [`Self::resume`] refuses a
     /// checkpoint whose fingerprint differs, because replay only
     /// converges under the identical `(config, selector)` pair.
+    ///
+    /// `threads` is normalized to 1 before hashing: the worker-thread
+    /// budget never changes an outcome, so a checkpoint captured on one
+    /// machine must replay on another with a different thread count.
     #[must_use]
     pub fn config_fingerprint(&self) -> u64 {
-        let json = serde_json::to_string(&self.config).unwrap_or_default();
+        let mut normalized = self.config.clone();
+        normalized.threads = 1;
+        let json = serde_json::to_string(&normalized).unwrap_or_default();
         fnv1a_64(format!("{}|{json}", self.selector.name()).as_bytes())
     }
 
@@ -641,16 +647,24 @@ impl<S: SlotSelector + Copy> Engine<S> {
                     .map(|(i, p)| Job::new(JobId::new(i as u32), p.request))
                     .collect();
                 let batch = Batch::from_jobs(jobs).expect("re-keyed ids are unique");
+                let parallelism = Parallelism::new(self.config.threads);
                 let result = if self.config.optimizer_cache {
-                    run_iteration_cached(
+                    run_iteration_cached_with(
                         self.selector,
                         &market,
                         &batch,
                         &self.config.iteration,
                         &mut state.optimizer,
+                        parallelism,
                     )?
                 } else {
-                    run_iteration(self.selector, &market, &batch, &self.config.iteration)?
+                    run_iteration_with(
+                        self.selector,
+                        &market,
+                        &batch,
+                        &self.config.iteration,
+                        parallelism,
+                    )?
                 };
                 state.report.opt.merge(&result.opt);
                 let per_job = result.search.alternatives.per_job();

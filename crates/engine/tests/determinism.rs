@@ -6,7 +6,7 @@ use ecosched_engine::{ArrivalConfig, Engine, EngineConfig, Event};
 use ecosched_optimize::OptStats;
 use ecosched_select::{Alp, Amp};
 use ecosched_sim::swf::{parse_swf, SwfImportConfig};
-use ecosched_sim::{JobGenConfig, RevocationConfig};
+use ecosched_sim::{IterationConfig, JobGenConfig, RevocationConfig, SearchMode};
 
 fn base_config() -> EngineConfig {
     EngineConfig {
@@ -143,6 +143,66 @@ fn optimizer_cache_is_outcome_invisible_under_churn() {
         opt_on.rows_rebuilt,
         opt_off.rows_rebuilt
     );
+}
+
+/// Runs the same seed at `threads = 1` and `threads = n` and asserts the
+/// outcome is byte-identical — event log, hash, and the *full* report,
+/// including the [`OptStats`] work counters (the parallel reduction must
+/// count the same rows the sequential run counts, not just commit the
+/// same leases).
+fn assert_threads_invisible(config: EngineConfig, seed: u64, n: usize) {
+    let sequential = Engine::new(config.clone(), Amp::new()).unwrap();
+    let parallel = Engine::new(
+        EngineConfig {
+            threads: n,
+            ..config
+        },
+        Amp::new(),
+    )
+    .unwrap();
+    assert_eq!(
+        sequential.config_fingerprint(),
+        parallel.config_fingerprint(),
+        "the fingerprint must normalize the thread count away"
+    );
+    let a = sequential.run(seed).unwrap();
+    let b = parallel.run(seed).unwrap();
+    assert_eq!(a.log.to_json(), b.log.to_json());
+    assert_eq!(a.log.fnv1a_hash(), b.log.fnv1a_hash());
+    assert_eq!(a.report.to_json(), b.report.to_json());
+}
+
+#[test]
+fn thread_count_is_outcome_invisible() {
+    for n in [2, 4, 7] {
+        assert_threads_invisible(base_config(), 42, n);
+    }
+}
+
+#[test]
+fn thread_count_is_outcome_invisible_under_churn() {
+    assert_threads_invisible(churn_config(), 42, 4);
+}
+
+#[test]
+fn thread_count_is_outcome_invisible_coscheduled() {
+    let config = EngineConfig {
+        iteration: IterationConfig {
+            search_mode: SearchMode::Coscheduled,
+            ..IterationConfig::default()
+        },
+        ..base_config()
+    };
+    assert_threads_invisible(config, 42, 4);
+}
+
+#[test]
+fn thread_count_is_outcome_invisible_without_cache() {
+    let config = EngineConfig {
+        optimizer_cache: false,
+        ..base_config()
+    };
+    assert_threads_invisible(config, 42, 3);
 }
 
 #[test]

@@ -3,10 +3,15 @@
 //! batch-cycle baseline.
 //!
 //! Usage: `exp_online [--seed S] [--cycles C] [--jobs J] [--churn P]
-//! [--mean-gap G] [--no-coalesce] [--smoke]`.
+//! [--mean-gap G] [--threads N] [--no-coalesce] [--smoke]`.
 //!
 //! `--no-coalesce` disables the engine's cycle-commit slot coalescing —
 //! the fragmentation A/B baseline for EXPERIMENTS.md E15.
+//!
+//! `--threads N` fans each cycle's per-job scans and DP rows across `N`
+//! workers. Purely an execution knob: every hash and report line is
+//! byte-identical to the single-threaded run, which is exactly what the
+//! CI online-smoke job diffs.
 //!
 //! `--smoke` runs the determinism smoke check used by CI: every grid cell
 //! is run twice and the process exits non-zero if any pair of identically
@@ -166,6 +171,7 @@ fn main() {
         churn: arg_value("--churn").unwrap_or(0.05),
         mean_interarrival: arg_value("--mean-gap").unwrap_or(10.0),
         coalesce: !std::env::args().any(|a| a == "--no-coalesce"),
+        threads: arg_value("--threads").unwrap_or(1),
     };
     let smoke = std::env::args().any(|a| a == "--smoke");
     let single = std::env::args().any(|a| a == "--single");

@@ -66,6 +66,9 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
+// Library code must propagate or document failures; bare `unwrap()` is
+// reserved for tests.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 mod assignment;
 pub mod brute;

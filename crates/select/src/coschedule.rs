@@ -69,9 +69,56 @@ pub fn find_alternatives_coscheduled(
     list: &SlotList,
     batch: &Batch,
 ) -> Result<SearchOutcome, CoreError> {
-    // Built-in selectors resume each job's scan from its checkpoint; in
-    // this mode that also spares the *losing* jobs of every round their
-    // full rescan, not just the winner's next search.
+    find_alternatives_coscheduled_threads(selector, list, batch, 1)
+}
+
+/// [`find_alternatives_coscheduled`] with a worker-pool width.
+///
+/// Built-in selectors run the lazy-revalidated priority-queue driver
+/// (see [`crate::parallel`]): instead of re-running every pending job's
+/// scan after every commit (`O(batch²)` resumes per pass), each pass
+/// seeds a heap keyed by `(window start, batch index)` and pops
+/// candidates, revalidating stale entries lazily — `O(batch log batch)`
+/// when commits interfere with few other jobs. At `threads > 1` the
+/// per-pass seeding also fans out over scoped workers. Committed
+/// alternatives, the remaining list, and the pass/commit counters are
+/// byte-identical to [`find_alternatives_coscheduled_rescan`] at any
+/// thread count; only the scan work counters differ.
+///
+/// # Errors
+///
+/// Propagates [`CoreError`] from slot subtraction, as
+/// [`find_alternatives_coscheduled`] does.
+pub fn find_alternatives_coscheduled_threads(
+    selector: impl SlotSelector,
+    list: &SlotList,
+    batch: &Batch,
+    threads: usize,
+) -> Result<SearchOutcome, CoreError> {
+    if let Some(spec) = selector.as_algo() {
+        return crate::parallel::find_alternatives_coscheduled_queue(&spec, list, batch, threads);
+    }
+    find_alternatives_coscheduled_naive(selector, list, batch)
+}
+
+/// The retained rescan driver: evaluates every pending job after every
+/// commit, exactly as [`find_alternatives_coscheduled`] did before the
+/// priority-queue rework.
+///
+/// Built-in selectors still resume each job's scan from its checkpoint
+/// (so a rescan is a cheap resume, not a head-of-list restart), but the
+/// driver is `O(batch²)` scan resumes per pass. Kept public as the
+/// equivalence oracle for the queue driver and as its benchmark baseline.
+///
+/// # Errors
+///
+/// Propagates [`CoreError`] from slot subtraction, as
+/// [`find_alternatives_coscheduled`] does.
+pub fn find_alternatives_coscheduled_rescan(
+    selector: impl SlotSelector,
+    list: &SlotList,
+    batch: &Batch,
+) -> Result<SearchOutcome, CoreError> {
     if let Some(spec) = selector.as_algo() {
         return find_alternatives_coscheduled_incremental(&spec, list, batch);
     }

@@ -443,6 +443,21 @@ impl JobScan {
     /// job's) and feed the report back through [`JobScan::apply_report`]
     /// before the next `run`. On failure the job is marked dead.
     pub(crate) fn run(&mut self, list: &SlotList, stats: &mut ScanStats) -> Option<Window> {
+        self.run_detailed(list, stats).map(|hit| hit.window)
+    }
+
+    /// [`JobScan::run`], additionally reporting the *touched set* the
+    /// parallel drivers use to revalidate a speculatively computed window
+    /// (see [`crate::parallel`]): the ids of the chosen members plus every
+    /// admitted member of the group at the acceptance anchor. A later
+    /// subtraction that removes none of these ids — and mints no remnant
+    /// starting before the window start — provably leaves this exact
+    /// window as the scan's next result.
+    pub(crate) fn run_detailed(
+        &mut self,
+        list: &SlotList,
+        stats: &mut ScanStats,
+    ) -> Option<ScanHit> {
         if self.dead {
             return None;
         }
@@ -492,7 +507,15 @@ impl JobScan {
                         self.pool.remove(member.slot.id());
                     }
                     self.anchor = Some(anchor);
-                    return Some(Pool::build_window(&chosen));
+                    let touched = chosen
+                        .iter()
+                        .map(|m| m.slot.id())
+                        .chain(group.iter().map(|m| m.slot.id()))
+                        .collect();
+                    return Some(ScanHit {
+                        window: Pool::build_window(&chosen),
+                        touched,
+                    });
                 }
             }
         }
@@ -524,6 +547,35 @@ impl JobScan {
                 }
             }
         }
+    }
+}
+
+/// A window found by [`JobScan::run_detailed`] plus the slot ids whose
+/// removal could change it: the chosen members and every admitted member
+/// of the group at the acceptance anchor (removing a non-chosen group
+/// member can empty the group, which skips the acceptance test at that
+/// anchor entirely and shifts the window).
+#[derive(Debug, Clone)]
+pub(crate) struct ScanHit {
+    pub(crate) window: Window,
+    pub(crate) touched: Vec<SlotId>,
+}
+
+impl ScanHit {
+    /// Returns `true` if `report` provably leaves this hit as the owning
+    /// scan's next result: it removes none of the touched ids and mints no
+    /// remnant starting before the window start. (Remnants at or after the
+    /// window start cannot create an earlier window — subtraction only
+    /// removes availability, see the module docs — and cannot alter the
+    /// chosen set at the acceptance anchor: a remnant shares its parent's
+    /// cost and sorts after it under the `(cost, id)` / `(start, id)`
+    /// tie-breaks, so it never displaces a chosen member.)
+    pub(crate) fn survives(&self, report: &SubtractionReport) -> bool {
+        if report.removed.iter().any(|id| self.touched.contains(id)) {
+            return false;
+        }
+        let start = self.window.start();
+        report.remnants.iter().all(|slot| slot.start() >= start)
     }
 }
 

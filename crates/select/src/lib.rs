@@ -63,11 +63,15 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
+// Library code must propagate or document failures; bare `unwrap()` is
+// reserved for tests.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 mod alp;
 mod amp;
 mod coschedule;
 mod incremental;
+mod parallel;
 mod repair;
 mod scan;
 mod search;
@@ -76,10 +80,15 @@ mod stats;
 
 pub use alp::Alp;
 pub use amp::Amp;
-pub use coschedule::{find_alternatives_coscheduled, find_alternatives_coscheduled_naive};
+pub use coschedule::{
+    find_alternatives_coscheduled, find_alternatives_coscheduled_naive,
+    find_alternatives_coscheduled_rescan, find_alternatives_coscheduled_threads,
+};
 pub use incremental::AlgoSpec;
 pub use repair::{repair_search, revalidate_window, try_adopt_window, RepairError};
 pub use scan::LengthRule;
-pub use search::{find_alternatives, find_alternatives_naive, SearchOutcome};
+pub use search::{
+    find_alternatives, find_alternatives_naive, find_alternatives_threads, SearchOutcome,
+};
 pub use selector::SlotSelector;
 pub use stats::{ScanStats, SearchStats};

@@ -300,6 +300,43 @@ mod tests {
     }
 
     #[test]
+    fn repair_search_excludes_windows_before_the_broken_start() {
+        // Earlier-start exclusion (see `RepairPolicy` in ecosched-sim): a
+        // window that is perfectly feasible but starts BEFORE the broken
+        // plan's start must not be returned — the original search already
+        // rejected or consumed that prefix against a larger list, so the
+        // repair scan resumes at the anchor and keeps whatever it finds
+        // at or after it.
+        let list = SlotList::from_slots(vec![
+            // A feasible 2-node window at t=0, strictly before the anchor.
+            slot(0, 0, 2, 0, 100),
+            slot(1, 1, 2, 0, 100),
+            // The survivors at the anchor.
+            slot(2, 2, 2, 300, 500),
+            slot(3, 3, 2, 300, 500),
+        ])
+        .unwrap();
+        for selector in [&Alp::new() as &dyn SlotSelector, &Amp::new()] {
+            let mut stats = ScanStats::new();
+            let found = repair_search(
+                &selector,
+                &request(2, 50, 5),
+                TimePoint::new(300),
+                &list,
+                &mut stats,
+            )
+            .unwrap();
+            assert_eq!(
+                found.start(),
+                TimePoint::new(300),
+                "repair must not adopt the earlier (pre-anchor) window"
+            );
+            assert!(found.slots().iter().all(|ws| ws.source() >= SlotId::new(2)));
+            assert_eq!(stats.checkpoint_hits, 1, "resume, never a full rescan");
+        }
+    }
+
+    #[test]
     fn repair_search_enforces_amp_budget() {
         let list =
             SlotList::from_slots(vec![slot(0, 0, 9, 100, 400), slot(1, 1, 9, 100, 400)]).unwrap();

@@ -263,6 +263,39 @@ mod coscheduled {
         }
 
         #[test]
+        fn queue_rounds_pick_the_same_windows_as_rescan(
+            list in slot_list_strategy(),
+            requests in prop::collection::vec(request_strategy(), 1..5),
+            threads in 1usize..5,
+        ) {
+            // The lazy-revalidated priority queue must commit exactly the
+            // window sequence the retained O(batch²) full-rescan driver
+            // commits: same alternatives per job (same windows, same
+            // order), same remaining list, same pass count.
+            let jobs: Vec<Job> = requests
+                .into_iter()
+                .enumerate()
+                .map(|(i, r)| Job::new(JobId::new(i as u32), r))
+                .collect();
+            let batch = Batch::from_jobs(jobs).unwrap();
+            for selector in [&Alp::new() as &dyn SlotSelector, &Amp::new()] {
+                let rescan = ecosched_select::find_alternatives_coscheduled_rescan(
+                    selector, &list, &batch,
+                ).unwrap();
+                let queue = ecosched_select::find_alternatives_coscheduled_threads(
+                    selector, &list, &batch, threads,
+                ).unwrap();
+                prop_assert_eq!(&queue.alternatives, &rescan.alternatives);
+                prop_assert_eq!(&queue.remaining, &rescan.remaining);
+                prop_assert_eq!(queue.stats.passes, rescan.stats.passes);
+                prop_assert_eq!(
+                    queue.stats.windows_committed,
+                    rescan.stats.windows_committed
+                );
+            }
+        }
+
+        #[test]
         fn coscheduled_earliest_first_window_is_no_later(
             list in slot_list_strategy(),
             requests in prop::collection::vec(request_strategy(), 2..4),

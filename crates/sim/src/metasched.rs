@@ -36,7 +36,7 @@ use ecosched_optimize::{IncrementalOptimizer, OptStats};
 use ecosched_select::{repair_search, try_adopt_window, RepairError, ScanStats, SlotSelector};
 
 use crate::config::{JobGenConfig, SlotGenConfig};
-use crate::iteration::{run_iteration_cached, IterationConfig, IterationError};
+use crate::iteration::{run_iteration_cached_with, IterationConfig, IterationError, Parallelism};
 use crate::job_gen::JobGenerator;
 use crate::revocation::{RepairStats, RevocationConfig, RevocationModel};
 use crate::slot_gen::SlotGenerator;
@@ -84,6 +84,19 @@ impl JobFate {
 /// where one attempt is either one failover re-validation or one bounded
 /// repair scan. Exhausting the budget postpones the job with
 /// [`PostponeReason::RepairBudgetExhausted`].
+///
+/// # Earlier-start exclusion
+///
+/// The tier-2 repair scan deliberately resumes **at the broken window's
+/// start** (via the incremental checkpoint machinery's `resume_from`),
+/// never earlier. Windows beginning before the broken plan are excluded
+/// by design: the original search already walked that prefix against a
+/// strictly *larger* availability list and committed or rejected every
+/// start point in it, so under slot subtraction (which only removes
+/// availability) no start earlier than the original plan can newly become
+/// feasible. Skipping the prefix keeps the repair O(survivors past the
+/// anchor) instead of O(list) without giving up any window the sequential
+/// rescan could have found.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RepairPolicy {
     /// Maximum recovery attempts (validations plus scans) per broken lease.
@@ -197,6 +210,7 @@ pub struct Metascheduler {
     config: IterationConfig,
     revocation: RevocationModel,
     policy: RepairPolicy,
+    parallelism: Parallelism,
 }
 
 impl Metascheduler {
@@ -218,6 +232,7 @@ impl Metascheduler {
             config,
             revocation: RevocationModel::new(RevocationConfig::none()),
             policy: RepairPolicy::default(),
+            parallelism: Parallelism::default(),
         }
     }
 
@@ -237,6 +252,15 @@ impl Metascheduler {
     #[must_use]
     pub fn with_repair_policy(mut self, policy: RepairPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Sets the worker-thread budget for each cycle's scheduling
+    /// iteration (see [`Parallelism`]). An execution knob only: reports
+    /// and traces are byte-identical at every thread count.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
         self
     }
 
@@ -292,8 +316,14 @@ impl Metascheduler {
             }
             let batch = Batch::from_jobs(jobs).expect("re-keyed ids are unique");
 
-            let result =
-                run_iteration_cached(selector, &list, &batch, &self.config, &mut optimizer)?;
+            let result = run_iteration_cached_with(
+                selector,
+                &list,
+                &batch,
+                &self.config,
+                &mut optimizer,
+                self.parallelism,
+            )?;
             let per_job = result.search.alternatives.per_job();
 
             let mut stats = RepairStats::default();
@@ -783,6 +813,24 @@ mod tests {
             totals.repair_scan.checkpoint_hits, totals.repairs_attempted,
             "every repair scan resumes from its anchor"
         );
+    }
+
+    #[test]
+    fn parallelism_is_trace_invisible_under_churn() {
+        // The worker-thread budget is an execution knob: full traced runs
+        // (leases, fates, revocations, repair stats) must be byte-identical
+        // at every thread count, even when revocations force repairs.
+        let run = |threads| {
+            let mut rng = ChaCha8Rng::seed_from_u64(2011);
+            meta()
+                .with_revocation(RevocationConfig::per_slot(0.1))
+                .with_parallelism(Parallelism::new(threads))
+                .run_traced(Amp::new(), 5, &mut rng)
+                .unwrap()
+        };
+        let baseline = run(1);
+        assert_eq!(baseline, run(2));
+        assert_eq!(baseline, run(4));
     }
 
     #[test]
