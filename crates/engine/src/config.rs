@@ -29,6 +29,12 @@ pub enum ArrivalConfig {
         /// How to convert rigid trace jobs into economic requests.
         import: SwfImportConfig,
     },
+    /// No generator-driven arrivals: every job enters through
+    /// [`Engine::submit`](crate::Engine::submit) between steps. This is
+    /// service mode — the `ecosched-serve` daemon injects admitted
+    /// submissions as `JobArrival` events, and the run stays a pure
+    /// function of `(config, seed, accepted-arrival sequence)`.
+    External,
 }
 
 impl ArrivalConfig {
@@ -57,6 +63,7 @@ impl ArrivalConfig {
                 }
                 Ok(())
             }
+            ArrivalConfig::External => Ok(()),
         }
     }
 }

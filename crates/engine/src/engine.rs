@@ -232,6 +232,60 @@ impl RunState {
     pub fn last_entry(&self) -> Option<&LogEntry> {
         self.log.entries.last()
     }
+
+    /// The virtual time of the most recently processed event
+    /// ([`TimePoint::ZERO`] before the first step). Externally submitted
+    /// arrivals are clamped to this floor so log times stay monotone.
+    #[must_use]
+    pub fn last_time(&self) -> TimePoint {
+        self.log
+            .entries
+            .last()
+            .map_or(TimePoint::ZERO, |e| TimePoint::new(e.time))
+    }
+
+    /// The virtual time of the next queued event, if any — what a pacing
+    /// loop compares against its virtual-clock target.
+    #[must_use]
+    pub fn next_event_time(&self) -> Option<TimePoint> {
+        self.queue.peek().map(|(t, _)| t)
+    }
+
+    /// Jobs waiting to be scheduled: pending batch members plus arrivals
+    /// injected or precomputed but not yet processed. This is the
+    /// backlog the service layer's admission control bounds.
+    #[must_use]
+    pub fn backlog(&self) -> usize {
+        let processed = self.report.jobs_arrived as usize;
+        self.pending.len() + self.arrivals.len().saturating_sub(processed)
+    }
+
+    /// Number of arrivals known to the run (processed or still queued);
+    /// also the id the next [`Engine::submit`] will assign.
+    #[must_use]
+    pub fn arrivals_len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Number of active (committed, not yet completed) leases.
+    #[must_use]
+    pub fn active_leases(&self) -> usize {
+        self.leases.len()
+    }
+
+    /// The live vacant-slot market — the state the service layer's
+    /// budget/deadline admission test reads.
+    #[must_use]
+    pub fn vacant(&self) -> &SlotList {
+        &self.vacant
+    }
+
+    /// The report accumulated so far (final means are only computed by
+    /// [`Engine::finish`]).
+    #[must_use]
+    pub fn report_so_far(&self) -> &EngineReport {
+        &self.report
+    }
 }
 
 /// The discrete-event metascheduling engine.
@@ -561,6 +615,31 @@ impl<S: SlotSelector + Copy> Engine<S> {
         })
     }
 
+    /// Injects an externally submitted job between two steps (service
+    /// mode). Returns the engine job id and the effective arrival time.
+    ///
+    /// The request is appended to the arrival stream and scheduled as an
+    /// ordinary `JobArrival` at `at`, clamped so it never precedes the
+    /// last processed event (log times stay monotone). No randomness is
+    /// drawn, so determinism sharpens to: a run is a pure function of
+    /// `(config, seed)` **plus the accepted-submission sequence** — each
+    /// submission identified by `(events processed at injection, arrival
+    /// time, request)`. Re-injecting the same sequence at the same
+    /// points (what the service write-ahead log records) reproduces a
+    /// byte-identical event log.
+    pub fn submit(
+        &self,
+        state: &mut RunState,
+        request: ResourceRequest,
+        at: TimePoint,
+    ) -> (u32, TimePoint) {
+        let time = at.max(state.last_time());
+        let job = state.arrivals.len() as u32;
+        state.arrivals.push((time, request));
+        state.queue.push(time, Event::JobArrival { job });
+        (job, time)
+    }
+
     /// Runs one event's handler. Every state change of the run happens
     /// here, keyed by the event's type.
     fn handle(
@@ -867,6 +946,30 @@ impl<S: SlotSelector + Copy> Engine<S> {
                         }
                     }
 
+                    // Tier 2.5 (optional): the anchored repair is
+                    // exhausted. One full rescan of everything launchable
+                    // from `now` — strictly wider than the broken-start
+                    // anchor, so it can adopt windows that start earlier
+                    // than the broken plan (released fragments of other
+                    // broken leases make those feasible).
+                    if recovered.is_none() && self.config.repair.full_rescan_on_exhaustion {
+                        state.report.full_rescans += 1;
+                        let mut scan = ScanStats::new();
+                        if let Some(window) = repair_search(
+                            &self.selector,
+                            &original.request,
+                            now,
+                            &state.vacant,
+                            &mut scan,
+                        ) {
+                            state
+                                .vacant
+                                .subtract_window(&window)
+                                .expect("repair windows are carved from the vacant list");
+                            recovered = Some((window, Vec::new(), false));
+                        }
+                    }
+
                     // Tier 3: back to the pending queue.
                     match recovered {
                         Some((window, alternatives, failover)) => {
@@ -1026,6 +1129,9 @@ impl<S: SlotSelector + Copy> Engine<S> {
                     .zip(batch.as_slice().iter().map(|j| *j.request()))
                     .collect()
             }
+            // Service mode: the stream starts empty and grows through
+            // `Engine::submit`.
+            ArrivalConfig::External => Vec::new(),
         }
     }
 }

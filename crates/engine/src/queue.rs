@@ -79,6 +79,15 @@ impl EventQueue {
             .map(|std::cmp::Reverse(q)| (q.time, q.seq, q.event))
     }
 
+    /// The `(time, seq)` key of the event the next [`Self::pop`] would
+    /// return, without removing it. The service-mode pacing loop uses
+    /// this to step only the events at or before the current virtual
+    /// time.
+    #[must_use]
+    pub fn peek(&self) -> Option<(TimePoint, u64)> {
+        self.heap.peek().map(|std::cmp::Reverse(q)| (q.time, q.seq))
+    }
+
     /// The queue's resumable state: the next sequence number plus every
     /// queued event in pop order. Non-destructive (works on a clone of the
     /// heap).

@@ -3,7 +3,14 @@
 //! batch-cycle baseline.
 //!
 //! Usage: `exp_online [--seed S] [--cycles C] [--jobs J] [--churn P]
-//! [--mean-gap G] [--threads N] [--no-coalesce] [--smoke]`.
+//! [--mean-gap G] [--threads N] [--no-coalesce] [--smoke] [--saturate]`.
+//!
+//! `--saturate` runs the E15 saturation sweep instead of the grid: the
+//! calm scenario at a descending ladder of mean inter-arrival gaps, the
+//! job count scaled so the stream spans the horizon at every gap. The
+//! end-of-run backlog column locates the knee where the market stops
+//! absorbing offered load — the reading that sizes `ecosched-serve`'s
+//! default admission bound (`--max-backlog`).
 //!
 //! `--no-coalesce` disables the engine's cycle-commit slot coalescing —
 //! the fragmentation A/B baseline for EXPERIMENTS.md E15.
@@ -43,7 +50,8 @@ use std::path::{Path, PathBuf};
 use ecosched_engine::{Engine, EngineReport, Event, EventLog};
 use ecosched_experiments::arg_value;
 use ecosched_experiments::online::{
-    batch_table, engine_config, online_table, run_batch_baseline, run_online, OnlineConfig,
+    batch_table, engine_config, online_table, run_batch_baseline, run_online, run_saturation,
+    saturation_table, OnlineConfig, SATURATION_GAPS,
 };
 use ecosched_persist::{decode_snapshot, resume_from, write_snapshot};
 use ecosched_select::{Alp, Amp, SlotSelector};
@@ -175,6 +183,24 @@ fn main() {
     };
     let smoke = std::env::args().any(|a| a == "--smoke");
     let single = std::env::args().any(|a| a == "--single");
+    let saturate = std::env::args().any(|a| a == "--saturate");
+
+    if saturate {
+        eprintln!(
+            "running saturation sweep (seed {}, {} cycles, gaps {:?})…",
+            config.seed, config.cycles, SATURATION_GAPS
+        );
+        let points = run_saturation(&config, &SATURATION_GAPS);
+        println!("E15 — saturation sweep (calm, job count scaled to the horizon)\n");
+        println!("{}", saturation_table(&points).render());
+        for p in &points {
+            println!(
+                "event_log_hash mean_gap={} algo={} hash={}",
+                p.mean_gap, p.algo, p.report.log_hash
+            );
+        }
+        return;
+    }
 
     let scenario: String = arg_value("--scenario").unwrap_or_else(|| "churn".to_string());
     let algo: String = arg_value("--algo").unwrap_or_else(|| "AMP".to_string());

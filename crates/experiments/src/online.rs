@@ -175,6 +175,89 @@ pub fn run_batch_baseline(config: &OnlineConfig) -> Vec<BatchPoint> {
     ]
 }
 
+/// One saturation-sweep cell: the same online pipeline at one offered
+/// load, the job count scaled so the Poisson stream spans the whole
+/// horizon at every gap.
+#[derive(Debug, Clone)]
+pub struct SaturationPoint {
+    /// Mean inter-arrival gap in ticks (smaller = more offered load).
+    pub mean_gap: f64,
+    /// `"ALP"` or `"AMP"`.
+    pub algo: &'static str,
+    /// The engine's aggregate report.
+    pub report: EngineReport,
+}
+
+/// The default gap ladder: a factor-of-two descent from the E15 default
+/// offered load down past saturation.
+pub const SATURATION_GAPS: [f64; 5] = [10.0, 5.0, 2.5, 1.25, 0.625];
+
+/// Jobs needed for a Poisson stream at `gap` to span the run's horizon.
+#[must_use]
+pub fn jobs_for_gap(config: &OnlineConfig, gap: f64) -> u32 {
+    let horizon = f64::from(config.cycles) * 60.0;
+    ((horizon / gap.max(0.01)).ceil() as u32).max(1)
+}
+
+/// Runs the saturation sweep: for each gap in `gaps`, both algorithms on
+/// the calm scenario with the job count scaled to keep the stream
+/// horizon-long. The end-of-run `backlog` column locates the knee where
+/// the market stops absorbing the offered load — the service daemon's
+/// default admission bound (`max_backlog`) sits just above it.
+#[must_use]
+pub fn run_saturation(config: &OnlineConfig, gaps: &[f64]) -> Vec<SaturationPoint> {
+    let mut points = Vec::new();
+    for &gap in gaps {
+        let cell = OnlineConfig {
+            mean_interarrival: gap,
+            jobs: jobs_for_gap(config, gap),
+            ..config.clone()
+        };
+        for (algo, point) in [
+            ("ALP", run_one(&cell, "calm", "ALP", Alp::new())),
+            ("AMP", run_one(&cell, "calm", "AMP", Amp::new())),
+        ] {
+            points.push(SaturationPoint {
+                mean_gap: gap,
+                algo,
+                report: point.report,
+            });
+        }
+    }
+    points
+}
+
+/// Renders the saturation sweep as a table.
+#[must_use]
+pub fn saturation_table(points: &[SaturationPoint]) -> Table {
+    let mut table = Table::new(&[
+        "mean_gap",
+        "algo",
+        "arrived",
+        "scheduled",
+        "completed",
+        "backlog",
+        "mean_wait",
+        "slowdown",
+        "util",
+    ]);
+    for p in points {
+        let r = &p.report;
+        table.row(&[
+            f2(p.mean_gap),
+            p.algo.to_string(),
+            r.jobs_arrived.to_string(),
+            r.jobs_scheduled.to_string(),
+            r.jobs_completed.to_string(),
+            r.backlog.to_string(),
+            f2(r.mean_wait),
+            f2(r.mean_bounded_slowdown),
+            f2(r.utilization),
+        ]);
+    }
+    table
+}
+
 /// Renders the online grid as a table.
 #[must_use]
 pub fn online_table(points: &[OnlinePoint]) -> Table {
@@ -286,6 +369,39 @@ mod tests {
                 a.scenario, a.algo
             );
             assert_eq!(a.report.to_json(), b.report.to_json());
+        }
+    }
+
+    #[test]
+    fn saturation_sweep_is_deterministic_and_finds_a_knee() {
+        let config = small();
+        let gaps = [10.0, 1.25];
+        let points = run_saturation(&config, &gaps);
+        assert_eq!(points.len(), 4);
+        let again = run_saturation(&config, &gaps);
+        for (a, b) in points.iter().zip(&again) {
+            assert_eq!(a.report.log_hash, b.report.log_hash);
+        }
+        for algo in ["ALP", "AMP"] {
+            let find = |gap: f64| {
+                points
+                    .iter()
+                    .find(|p| p.algo == algo && (p.mean_gap - gap).abs() < 1e-9)
+                    .expect("cell present")
+            };
+            let calm = find(10.0);
+            let hot = find(1.25);
+            assert!(
+                hot.report.jobs_arrived > calm.report.jobs_arrived,
+                "{algo}: offered load must rise as the gap shrinks"
+            );
+            assert!(
+                hot.report.backlog >= calm.report.backlog,
+                "{algo}: past the knee the end-of-run backlog cannot shrink \
+                 ({} vs {})",
+                hot.report.backlog,
+                calm.report.backlog
+            );
         }
     }
 

@@ -19,7 +19,12 @@
 //!   to a run that never crashed (same final report, same log hash);
 //! * a **snapshot cadence helper** ([`run_with_snapshots`]): capture
 //!   after every N-th cycle commit, which is what the crash-recovery
-//!   fault-injection tests and `exp_online --snapshot-every` build on.
+//!   fault-injection tests and `exp_online --snapshot-every` build on;
+//! * a **rotated snapshot store** ([`rotate`]): a directory of
+//!   crash-atomically written snapshots (temp file + fsync + rename),
+//!   pruned to the newest K, whose loader walks past corrupt or
+//!   truncated files to the newest usable capture — the durability
+//!   substrate of the `ecosched-serve` daemon.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -28,12 +33,14 @@
 
 pub mod format;
 pub mod replay;
+pub mod rotate;
 pub mod snapshot;
 
 pub use format::{decode, encode, PersistError, SectionTag, FORMAT_VERSION, MAGIC};
 pub use replay::{
     resume_and_replay, resume_from, run_to_completion, run_with_snapshots, ReplayError,
 };
+pub use rotate::{LatestSnapshot, SkippedSnapshot, SnapshotStore};
 pub use snapshot::{
     decode_snapshot, encode_snapshot, peek_meta, read_snapshot, write_snapshot, SnapshotMeta,
     CHECKPOINT_SECTION, META_SECTION,

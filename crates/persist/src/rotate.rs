@@ -1,0 +1,310 @@
+//! Rotated snapshot directories: atomic writes, keep-last-K pruning,
+//! and corruption-tolerant resume.
+//!
+//! A [`SnapshotStore`] manages a directory of `snap-<events>.ecosnap`
+//! files, one per capture, named by the number of events the run had
+//! processed (zero-padded so lexical order is capture order). Saving is
+//! crash-atomic: bytes go to a `.tmp` sibling, are fsynced, and only
+//! then renamed over the final name — a crash mid-write leaves at worst
+//! a stray temp file, never a half-written snapshot under the real
+//! name. After each save the store prunes to the newest `keep_last`
+//! files, and [`SnapshotStore::load_latest`] walks newest-to-oldest past
+//! any truncated or corrupt file, so one bad newest snapshot costs one
+//! capture interval of replay, not the run.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use ecosched_engine::EngineCheckpoint;
+
+use crate::format::PersistError;
+use crate::snapshot::{decode_snapshot, encode_snapshot, SnapshotMeta};
+
+/// File extension of finished snapshots.
+const EXT: &str = "ecosnap";
+/// Prefix of every snapshot file name.
+const PREFIX: &str = "snap-";
+
+/// A directory of rotated snapshots with a bounded retention window.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+    keep_last: usize,
+}
+
+/// One snapshot skipped during [`SnapshotStore::load_latest`] because it
+/// failed to decode.
+#[derive(Debug)]
+pub struct SkippedSnapshot {
+    /// The unreadable file.
+    pub path: PathBuf,
+    /// Why it was rejected.
+    pub error: PersistError,
+}
+
+/// The result of scanning a store for the newest usable snapshot.
+#[derive(Debug)]
+pub struct LatestSnapshot {
+    /// The decoded checkpoint.
+    pub checkpoint: EngineCheckpoint,
+    /// The file it came from.
+    pub path: PathBuf,
+    /// Newer files that were skipped as corrupt or truncated, newest
+    /// first. Non-empty means durability degraded to an older capture.
+    pub skipped: Vec<SkippedSnapshot>,
+}
+
+impl SnapshotStore {
+    /// Opens (creating if needed) a snapshot directory that retains the
+    /// newest `keep_last` snapshots. `keep_last` is clamped to at
+    /// least 1 — a store that deletes everything it saves is useless.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] when the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>, keep_last: usize) -> Result<Self, PersistError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(SnapshotStore {
+            dir,
+            keep_last: keep_last.max(1),
+        })
+    }
+
+    /// The directory this store manages.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// File name for a capture taken after `events` processed events.
+    fn file_name(events: u64) -> String {
+        format!("{PREFIX}{events:016}.{EXT}")
+    }
+
+    /// Parses the event count out of a snapshot file name.
+    fn parse_name(name: &str) -> Option<u64> {
+        let stem = name
+            .strip_prefix(PREFIX)?
+            .strip_suffix(&format!(".{EXT}"))?;
+        stem.parse().ok()
+    }
+
+    /// Saves a checkpoint crash-atomically and prunes old snapshots.
+    /// Returns the path of the finished file.
+    ///
+    /// The bytes are written to a temp sibling, fsynced, renamed over
+    /// the final name, and the directory itself is then fsynced so the
+    /// rename is durable. Re-saving the same event count overwrites the
+    /// previous capture (the states are identical by determinism).
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] on any filesystem failure.
+    pub fn save(&self, checkpoint: &EngineCheckpoint) -> Result<PathBuf, PersistError> {
+        let meta = SnapshotMeta::of(checkpoint);
+        let final_path = self.dir.join(Self::file_name(meta.events_processed));
+        let tmp_path = final_path.with_extension("tmp");
+        {
+            use std::io::Write as _;
+            let mut file = fs::File::create(&tmp_path)?;
+            file.write_all(&encode_snapshot(checkpoint))?;
+            file.sync_all()?;
+        }
+        fs::rename(&tmp_path, &final_path)?;
+        // Make the rename itself durable. Directory fsync is a no-op on
+        // some platforms; failure here must not discard the snapshot.
+        if let Ok(d) = fs::File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        self.prune()?;
+        Ok(final_path)
+    }
+
+    /// Snapshot paths in capture order (oldest first). Temp files and
+    /// foreign names are ignored.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] when the directory cannot be read.
+    pub fn list(&self) -> Result<Vec<PathBuf>, PersistError> {
+        let mut found: Vec<(u64, PathBuf)> = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(events) = Self::parse_name(name) {
+                found.push((events, entry.path()));
+            }
+        }
+        found.sort_unstable_by_key(|(events, _)| *events);
+        Ok(found.into_iter().map(|(_, p)| p).collect())
+    }
+
+    /// Deletes all but the newest `keep_last` snapshots, and any stray
+    /// temp files left by an interrupted save.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] when the directory cannot be read; failures
+    /// to delete individual files are ignored (they will be retried on
+    /// the next save).
+    pub fn prune(&self) -> Result<(), PersistError> {
+        let listed = self.list()?;
+        if listed.len() > self.keep_last {
+            for stale in &listed[..listed.len() - self.keep_last] {
+                let _ = fs::remove_file(stale);
+            }
+        }
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "tmp") {
+                let _ = fs::remove_file(&path);
+            }
+        }
+        Ok(())
+    }
+
+    /// Finds and decodes the newest usable snapshot, skipping corrupt
+    /// or truncated files (newest first) until one decodes cleanly.
+    /// Returns `None` when the directory holds no usable snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] when the directory cannot be read. Decode
+    /// failures are not errors — they are recorded in
+    /// [`LatestSnapshot::skipped`] and the scan falls back to the next
+    /// older file.
+    pub fn load_latest(&self) -> Result<Option<LatestSnapshot>, PersistError> {
+        let mut skipped = Vec::new();
+        for path in self.list()?.into_iter().rev() {
+            let bytes = match fs::read(&path) {
+                Ok(b) => b,
+                Err(e) => {
+                    skipped.push(SkippedSnapshot {
+                        path,
+                        error: PersistError::Io(e),
+                    });
+                    continue;
+                }
+            };
+            match decode_snapshot(&bytes) {
+                Ok(checkpoint) => {
+                    return Ok(Some(LatestSnapshot {
+                        checkpoint,
+                        path,
+                        skipped,
+                    }))
+                }
+                Err(error) => skipped.push(SkippedSnapshot { path, error }),
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ecosched-rotate-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Real checkpoints (strictly increasing event counts) from a short
+    /// deterministic run — the store keys file names on that count.
+    fn checkpoints(n: usize) -> Vec<EngineCheckpoint> {
+        let engine = ecosched_engine::Engine::new(
+            ecosched_engine::EngineConfig {
+                cycles: n as u32 + 2,
+                ..ecosched_engine::EngineConfig::default()
+            },
+            ecosched_select::Amp::new(),
+        )
+        .expect("default config");
+        let (_, snaps) = crate::replay::run_with_snapshots(&engine, 7, 1).expect("run");
+        assert!(snaps.len() >= n, "run produced too few snapshots");
+        snaps.into_iter().take(n).collect()
+    }
+
+    #[test]
+    fn names_round_trip() {
+        let name = SnapshotStore::file_name(42);
+        assert_eq!(SnapshotStore::parse_name(&name), Some(42));
+        assert_eq!(SnapshotStore::parse_name("snap-x.ecosnap"), None);
+        assert_eq!(SnapshotStore::parse_name("other.ecosnap"), None);
+        assert_eq!(SnapshotStore::parse_name("snap-1.tmp"), None);
+    }
+
+    #[test]
+    fn saves_prune_to_keep_last() {
+        let dir = scratch_dir("prune");
+        let store = SnapshotStore::open(&dir, 2).unwrap();
+        let snaps = checkpoints(4);
+        for c in &snaps {
+            store.save(c).unwrap();
+        }
+        let listed = store.list().unwrap();
+        assert_eq!(listed.len(), 2);
+        let kept_events = |c: &EngineCheckpoint| format!("{:016}", c.log.len() as u64);
+        assert!(listed[0]
+            .to_string_lossy()
+            .contains(&kept_events(&snaps[2])));
+        assert!(listed[1]
+            .to_string_lossy()
+            .contains(&kept_events(&snaps[3])));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_latest_skips_corrupt_newest() {
+        let dir = scratch_dir("corrupt");
+        let store = SnapshotStore::open(&dir, 4).unwrap();
+        let snaps = checkpoints(2);
+        store.save(&snaps[0]).unwrap();
+        let newest = store.save(&snaps[1]).unwrap();
+
+        // Corrupt the newest file's tail (payload bytes -> checksum
+        // mismatch) and confirm the scan falls back to the older one.
+        let mut bytes = fs::read(&newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(&newest, &bytes).unwrap();
+
+        let latest = store
+            .load_latest()
+            .unwrap()
+            .expect("older snapshot survives");
+        assert_eq!(latest.checkpoint, snaps[0]);
+        assert_eq!(latest.skipped.len(), 1);
+        assert_eq!(latest.skipped[0].path, newest);
+
+        // Truncation of every remaining snapshot leaves nothing usable.
+        let older = latest.path.clone();
+        fs::write(&older, b"ECOSNAP\0").unwrap();
+        assert!(store.load_latest().unwrap().is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interrupted_save_leaves_no_partial_final_file() {
+        let dir = scratch_dir("tmpfile");
+        let store = SnapshotStore::open(&dir, 4).unwrap();
+        // Simulate a crash mid-write: a temp file exists, no final file.
+        fs::write(dir.join("snap-0000000000000009.tmp"), b"partial").unwrap();
+        assert!(store.load_latest().unwrap().is_none());
+        // The next save cleans the stray temp file up.
+        store.save(&checkpoints(1)[0]).unwrap();
+        let strays: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(strays.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

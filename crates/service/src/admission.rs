@@ -1,0 +1,309 @@
+//! Admission control: typed accept/reject decisions against the live
+//! run state, in the spirit of Libra's deadline/budget feasibility
+//! screen.
+//!
+//! The daemon calls [`decide`] before injecting a submission. Checks run
+//! cheapest-first and each rejection names its cause (see
+//! [`RejectReason`]):
+//!
+//! 1. **validity** — the spec must convert to a well-formed request;
+//! 2. **backpressure** — the scheduling backlog (pending jobs plus
+//!    not-yet-processed arrivals) must stay under the configured bound,
+//!    counting submissions already accepted in the current group-commit
+//!    batch;
+//! 3. **horizon** — virtual time must not be past the final cycle tick
+//!    (a later submission could never be scheduled);
+//! 4. **deadline feasibility** — if the spec carries a deadline, the
+//!    earliest achievable completion (next cycle tick + wall time) must
+//!    not overshoot it;
+//! 5. **budget feasibility** — the current market must offer at least
+//!    `nodes` distinct nodes with a live slot that satisfies the
+//!    performance floor within the price cap. Under the AMP budget
+//!    `S = C·t·N`, per-slot cap eligibility *is* affordability, so this
+//!    single screen covers both. Optional (`admit_market`), because the
+//!    market refreshes every cycle and a strict screen also sheds jobs a
+//!    future publication could have hosted.
+//!
+//! Admission reads state but never mutates it and never draws
+//! randomness, so it cannot perturb engine determinism.
+
+use std::collections::BTreeSet;
+
+use ecosched_core::{ResourceRequest, SlotList, TimePoint};
+use serde::{Deserialize, Serialize};
+
+use crate::protocol::{JobSpec, RejectReason};
+
+/// The admission-control policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdmissionPolicy {
+    /// Reject submissions while the backlog is at or above this bound.
+    /// The default (256) sits just above the saturation knee measured by
+    /// `exp_online --saturate` (E15): halving the mean arrival gap from
+    /// 2.5 to 1.25 ticks moves ALP's end-of-run backlog from 84 to 206,
+    /// and the next halving explodes it to 595 while completions stall —
+    /// past ~250 pending jobs, extra backlog only adds wait time, it
+    /// does not add throughput.
+    pub max_backlog: u64,
+    /// Whether to run the market (budget-feasibility) screen.
+    pub admit_market: bool,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy {
+            max_backlog: 256,
+            admit_market: true,
+        }
+    }
+}
+
+/// The slice of run state admission reads.
+#[derive(Debug)]
+pub struct MarketView<'a> {
+    /// Jobs waiting to be scheduled (see `RunState::backlog`).
+    pub backlog: u64,
+    /// The live vacant-slot market.
+    pub vacant: &'a SlotList,
+    /// Current virtual time in ticks.
+    pub now: i64,
+    /// Ticks between cycle ticks.
+    pub cycle_length: i64,
+    /// The final cycle tick's time.
+    pub horizon: i64,
+}
+
+impl MarketView<'_> {
+    /// The next cycle tick at or after `now` (the earliest moment a new
+    /// submission can be scheduled), saturating at the horizon.
+    #[must_use]
+    pub fn next_tick(&self) -> i64 {
+        if self.now <= 0 {
+            return 0;
+        }
+        let len = self.cycle_length.max(1);
+        let ticks = ((self.now + len - 1) / len) * len;
+        ticks.min(self.horizon)
+    }
+}
+
+/// Decides one submission. `staged` is how many submissions were already
+/// accepted into the current (not yet committed) batch — they count
+/// against the backlog bound so a single burst cannot overshoot it.
+///
+/// # Errors
+///
+/// The typed [`RejectReason`]; nothing was persisted or mutated.
+pub fn decide(
+    policy: &AdmissionPolicy,
+    view: &MarketView<'_>,
+    spec: &JobSpec,
+    staged: u64,
+) -> Result<ResourceRequest, RejectReason> {
+    let request = spec
+        .to_request()
+        .map_err(|detail| RejectReason::Malformed { detail })?;
+
+    let backlog = view.backlog + staged;
+    if backlog >= policy.max_backlog {
+        return Err(RejectReason::BacklogFull {
+            backlog,
+            limit: policy.max_backlog,
+        });
+    }
+
+    if view.now > view.horizon {
+        return Err(RejectReason::BeyondHorizon {
+            time: view.now,
+            horizon: view.horizon,
+        });
+    }
+
+    if let Some(deadline) = spec.deadline_tick {
+        let earliest_finish = view.next_tick() + spec.wall_ticks;
+        if deadline < earliest_finish {
+            return Err(RejectReason::DeadlineInfeasible {
+                deadline,
+                earliest_finish,
+            });
+        }
+    }
+
+    if policy.admit_market {
+        let eligible = eligible_nodes(view.vacant, &request, view.now);
+        if eligible < request.nodes() as u64 {
+            return Err(RejectReason::BudgetInfeasible {
+                needed_nodes: request.nodes() as u64,
+                eligible_nodes: eligible,
+            });
+        }
+    }
+
+    Ok(request)
+}
+
+/// Distinct nodes offering a live (not yet expired) slot that satisfies
+/// the request's performance floor within its price cap.
+fn eligible_nodes(vacant: &SlotList, request: &ResourceRequest, now: i64) -> u64 {
+    let now = TimePoint::new(now);
+    let nodes: BTreeSet<_> = vacant
+        .iter()
+        .filter(|slot| slot.end() > now && request.perf_ok(slot) && request.price_ok(slot))
+        .map(|slot| slot.node())
+        .collect();
+    nodes.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecosched_core::{NodeId, Perf, Price, Slot, SlotId, Span, TimePoint};
+
+    fn market() -> SlotList {
+        let mut slots = Vec::new();
+        for n in 0..4u32 {
+            let span = Span::new(TimePoint::new(0), TimePoint::new(100)).expect("span");
+            slots.push(
+                Slot::new(
+                    SlotId::new(u64::from(n)),
+                    NodeId::new(n),
+                    Perf::UNIT,
+                    Price::from_credits(2),
+                    span,
+                )
+                .expect("slot"),
+            );
+        }
+        SlotList::from_slots(slots).expect("list")
+    }
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            nodes: 2,
+            wall_ticks: 30,
+            min_perf_milli: 1000,
+            price_cap_micro: 3_000_000,
+            deadline_tick: None,
+        }
+    }
+
+    fn view(vacant: &SlotList) -> MarketView<'_> {
+        MarketView {
+            backlog: 0,
+            vacant,
+            now: 10,
+            cycle_length: 60,
+            horizon: 600,
+        }
+    }
+
+    #[test]
+    fn accepts_feasible_spec() {
+        let vacant = market();
+        let policy = AdmissionPolicy::default();
+        let request = decide(&policy, &view(&vacant), &spec(), 0).expect("accepted");
+        assert_eq!(request.nodes(), 2);
+    }
+
+    #[test]
+    fn rejects_over_backlog_counting_staged() {
+        let vacant = market();
+        let policy = AdmissionPolicy {
+            max_backlog: 4,
+            ..AdmissionPolicy::default()
+        };
+        let mut v = view(&vacant);
+        v.backlog = 3;
+        assert!(decide(&policy, &v, &spec(), 0).is_ok());
+        let denied = decide(&policy, &v, &spec(), 1).unwrap_err();
+        assert_eq!(
+            denied,
+            RejectReason::BacklogFull {
+                backlog: 4,
+                limit: 4
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_past_horizon() {
+        let vacant = market();
+        let mut v = view(&vacant);
+        v.now = 601;
+        assert!(matches!(
+            decide(&AdmissionPolicy::default(), &v, &spec(), 0),
+            Err(RejectReason::BeyondHorizon { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_impossible_deadline() {
+        let vacant = market();
+        let v = view(&vacant);
+        // Next tick is 60; earliest finish 60 + 30 = 90.
+        let tight = JobSpec {
+            deadline_tick: Some(89),
+            ..spec()
+        };
+        assert_eq!(
+            decide(&AdmissionPolicy::default(), &v, &tight, 0).unwrap_err(),
+            RejectReason::DeadlineInfeasible {
+                deadline: 89,
+                earliest_finish: 90
+            }
+        );
+        let loose = JobSpec {
+            deadline_tick: Some(90),
+            ..spec()
+        };
+        assert!(decide(&AdmissionPolicy::default(), &v, &loose, 0).is_ok());
+    }
+
+    #[test]
+    fn rejects_unaffordable_market() {
+        let vacant = market();
+        let v = view(&vacant);
+        let priced_out = JobSpec {
+            price_cap_micro: 1_000_000, // every slot costs 2 credits
+            ..spec()
+        };
+        assert_eq!(
+            decide(&AdmissionPolicy::default(), &v, &priced_out, 0).unwrap_err(),
+            RejectReason::BudgetInfeasible {
+                needed_nodes: 2,
+                eligible_nodes: 0
+            }
+        );
+        // The market screen is optional.
+        let lax = AdmissionPolicy {
+            admit_market: false,
+            ..AdmissionPolicy::default()
+        };
+        assert!(decide(&lax, &v, &priced_out, 0).is_ok());
+    }
+
+    #[test]
+    fn rejects_more_nodes_than_market_offers() {
+        let vacant = market();
+        let v = view(&vacant);
+        let wide = JobSpec { nodes: 5, ..spec() };
+        assert!(matches!(
+            decide(&AdmissionPolicy::default(), &v, &wide, 0),
+            Err(RejectReason::BudgetInfeasible {
+                needed_nodes: 5,
+                eligible_nodes: 4
+            })
+        ));
+    }
+
+    #[test]
+    fn malformed_specs_never_reach_the_market() {
+        let vacant = market();
+        let v = view(&vacant);
+        let bad = JobSpec { nodes: 0, ..spec() };
+        assert!(matches!(
+            decide(&AdmissionPolicy::default(), &v, &bad, 0),
+            Err(RejectReason::Malformed { .. })
+        ));
+    }
+}

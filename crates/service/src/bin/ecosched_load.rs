@@ -1,0 +1,306 @@
+//! `ecosched-load`: a closed-loop load generator for `ecosched-serve`.
+//!
+//! ```text
+//! ecosched-load --connect tcp:HOST:PORT|unix:PATH --jobs N
+//!     [--threads T] [--timeout-ms MS] [--acked-out FILE]
+//!     [--nodes N] [--wall T] [--price-cap-micro P] [--deadline-slack T]
+//! ```
+//!
+//! Each worker thread keeps exactly one request in flight (closed
+//! loop): connect with bounded exponential backoff, submit, await the
+//! ack, repeat. Per-request outcomes are bucketed as accepted,
+//! rejected-by-reason, or **lost** — an I/O error or timeout after the
+//! request was written, meaning the client cannot know whether the
+//! daemon acked (exactly the window the crash harness SIGKILLs in).
+//! The summary line reports counts and p50/p99/max ack latency.
+//!
+//! `--acked-out FILE` appends one `job_id time` line per accepted job —
+//! the ground truth the zero-acked-loss check compares a resumed
+//! daemon against.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use ecosched_service::{Client, Endpoint, JobSpec, Response};
+
+struct Args {
+    connect: Endpoint,
+    jobs: u64,
+    threads: u64,
+    timeout: Duration,
+    acked_out: Option<PathBuf>,
+    spec: JobSpec,
+    deadline_slack: Option<i64>,
+}
+
+fn usage(detail: &str) -> String {
+    format!(
+        "{detail}\nusage: ecosched-load --connect tcp:ADDR|unix:PATH --jobs N [--threads T]\n\
+         \x20  [--timeout-ms MS] [--acked-out FILE] [--nodes N] [--wall T]\n\
+         \x20  [--price-cap-micro P] [--deadline-slack T]"
+    )
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut connect = None;
+    let mut jobs = 100u64;
+    let mut threads = 4u64;
+    let mut timeout = Duration::from_millis(2000);
+    let mut acked_out = None;
+    let mut deadline_slack = None;
+    let mut spec = JobSpec {
+        nodes: 2,
+        wall_ticks: 30,
+        min_perf_milli: 1000,
+        price_cap_micro: 5_000_000,
+        deadline_tick: None,
+    };
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            args.next()
+                .ok_or_else(|| usage(&format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--connect" => {
+                connect = Some(Endpoint::parse(&value("--connect")?).map_err(|e| usage(&e))?)
+            }
+            "--jobs" => jobs = value("--jobs")?.parse().map_err(|_| usage("bad --jobs"))?,
+            "--threads" => {
+                threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| usage("bad --threads"))?
+            }
+            "--timeout-ms" => {
+                let ms: u64 = value("--timeout-ms")?
+                    .parse()
+                    .map_err(|_| usage("bad --timeout-ms"))?;
+                timeout = Duration::from_millis(ms.max(1));
+            }
+            "--acked-out" => acked_out = Some(PathBuf::from(value("--acked-out")?)),
+            "--nodes" => {
+                spec.nodes = value("--nodes")?
+                    .parse()
+                    .map_err(|_| usage("bad --nodes"))?
+            }
+            "--wall" => {
+                spec.wall_ticks = value("--wall")?.parse().map_err(|_| usage("bad --wall"))?
+            }
+            "--price-cap-micro" => {
+                spec.price_cap_micro = value("--price-cap-micro")?
+                    .parse()
+                    .map_err(|_| usage("bad --price-cap-micro"))?;
+            }
+            "--deadline-slack" => {
+                deadline_slack = Some(
+                    value("--deadline-slack")?
+                        .parse()
+                        .map_err(|_| usage("bad --deadline-slack"))?,
+                );
+            }
+            other => return Err(usage(&format!("unknown flag {other}"))),
+        }
+    }
+    let connect = connect.ok_or_else(|| usage("--connect is required"))?;
+    Ok(Args {
+        connect,
+        jobs,
+        threads: threads.clamp(1, 64),
+        timeout,
+        acked_out,
+        spec,
+        deadline_slack,
+    })
+}
+
+#[derive(Default)]
+struct Tally {
+    accepted: u64,
+    rejected_backlog: u64,
+    rejected_budget: u64,
+    rejected_deadline: u64,
+    rejected_horizon: u64,
+    rejected_other: u64,
+    lost: u64,
+    latencies_us: Vec<u64>,
+    acked: Vec<(u32, i64)>,
+}
+
+impl Tally {
+    fn merge(&mut self, other: Tally) {
+        self.accepted += other.accepted;
+        self.rejected_backlog += other.rejected_backlog;
+        self.rejected_budget += other.rejected_budget;
+        self.rejected_deadline += other.rejected_deadline;
+        self.rejected_horizon += other.rejected_horizon;
+        self.rejected_other += other.rejected_other;
+        self.lost += other.lost;
+        self.latencies_us.extend(other.latencies_us);
+        self.acked.extend(other.acked);
+    }
+
+    fn rejected(&self) -> u64 {
+        self.rejected_backlog
+            + self.rejected_budget
+            + self.rejected_deadline
+            + self.rejected_horizon
+            + self.rejected_other
+    }
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[rank.min(sorted_us.len() - 1)] as f64 / 1000.0
+}
+
+fn worker(
+    endpoint: &Endpoint,
+    spec: JobSpec,
+    deadline_slack: Option<i64>,
+    timeout: Duration,
+    remaining: &AtomicU64,
+) -> Tally {
+    let mut tally = Tally::default();
+    let mut client: Option<Client> = None;
+    loop {
+        // Claim one unit of work; stop when the budget is gone.
+        if remaining
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_err()
+        {
+            return tally;
+        }
+        if client.is_none() {
+            client = Client::connect(endpoint, timeout, 6, Duration::from_millis(10)).ok();
+        }
+        let Some(c) = client.as_mut() else {
+            tally.lost += 1;
+            continue;
+        };
+        let mut spec = spec;
+        if let Some(slack) = deadline_slack {
+            // A deadline relative to "now": ask for status-free slack by
+            // leaving it absolute and generous; admission uses its own
+            // virtual clock.
+            spec.deadline_tick = Some(slack);
+        }
+        let started = Instant::now();
+        match c.submit(spec) {
+            Ok(Response::Accepted { job, time }) => {
+                tally.accepted += 1;
+                tally
+                    .latencies_us
+                    .push(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+                tally.acked.push((job, time));
+            }
+            Ok(Response::Rejected { reason }) => {
+                use ecosched_service::RejectReason as R;
+                tally
+                    .latencies_us
+                    .push(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+                match reason {
+                    R::BacklogFull { .. } => tally.rejected_backlog += 1,
+                    R::BudgetInfeasible { .. } => tally.rejected_budget += 1,
+                    R::DeadlineInfeasible { .. } => tally.rejected_deadline += 1,
+                    R::BeyondHorizon { .. } => tally.rejected_horizon += 1,
+                    R::Malformed { .. } | R::ShuttingDown => tally.rejected_other += 1,
+                }
+            }
+            Ok(_) => tally.rejected_other += 1,
+            Err(_) => {
+                // Timeout or connection loss after the write: the ack is
+                // unknown — count as lost and reconnect.
+                tally.lost += 1;
+                client = None;
+            }
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let remaining = Arc::new(AtomicU64::new(args.jobs));
+    let total = Arc::new(Mutex::new(Tally::default()));
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for _ in 0..args.threads {
+        let endpoint = args.connect.clone();
+        let remaining = Arc::clone(&remaining);
+        let total = Arc::clone(&total);
+        let spec = args.spec;
+        let slack = args.deadline_slack;
+        let timeout = args.timeout;
+        handles.push(std::thread::spawn(move || {
+            let tally = worker(&endpoint, spec, slack, timeout, &remaining);
+            if let Ok(mut t) = total.lock() {
+                t.merge(tally);
+            }
+        }));
+    }
+    for handle in handles {
+        let _ = handle.join();
+    }
+    let elapsed = started.elapsed();
+
+    let Ok(mut tally) = total.lock() else {
+        eprintln!("worker panicked");
+        return ExitCode::FAILURE;
+    };
+    tally.latencies_us.sort_unstable();
+
+    if let Some(path) = &args.acked_out {
+        let mut lines = String::new();
+        let mut acked = tally.acked.clone();
+        acked.sort_unstable();
+        for (job, time) in acked {
+            lines.push_str(&format!("{job} {time}\n"));
+        }
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = file.write_all(lines.as_bytes());
+            let _ = file.sync_data();
+        }
+    }
+
+    let throughput = tally.accepted as f64 / elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "LOAD accepted={} rejected={} (backlog={} budget={} deadline={} horizon={} other={}) \
+         lost={} p50_ms={:.3} p99_ms={:.3} max_ms={:.3} throughput_jobs_per_sec={:.0} \
+         elapsed_ms={}",
+        tally.accepted,
+        tally.rejected(),
+        tally.rejected_backlog,
+        tally.rejected_budget,
+        tally.rejected_deadline,
+        tally.rejected_horizon,
+        tally.rejected_other,
+        tally.lost,
+        percentile(&tally.latencies_us, 0.50),
+        percentile(&tally.latencies_us, 0.99),
+        tally
+            .latencies_us
+            .last()
+            .map_or(0.0, |&us| us as f64 / 1000.0),
+        throughput,
+        elapsed.as_millis()
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,62 @@
+//! The service crate's error type.
+
+use ecosched_engine::EngineError;
+use ecosched_persist::PersistError;
+
+/// Anything that can go wrong booting, serving, or verifying a daemon.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Configuration or manifest problem.
+    Config(String),
+    /// Engine-level failure (scheduling cycle error, checkpoint
+    /// mismatch).
+    Engine(EngineError),
+    /// Snapshot layer failure.
+    Persist(PersistError),
+    /// Filesystem or socket failure.
+    Io(std::io::Error),
+    /// The durable record and the engine disagree — resume or replay
+    /// reconstructed a different run than the one recorded.
+    Diverged(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Config(detail) => write!(f, "configuration: {detail}"),
+            ServiceError::Engine(e) => write!(f, "engine: {e}"),
+            ServiceError::Persist(e) => write!(f, "persistence: {e}"),
+            ServiceError::Io(e) => write!(f, "i/o: {e}"),
+            ServiceError::Diverged(detail) => write!(f, "replay divergence: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Engine(e) => Some(e),
+            ServiceError::Persist(e) => Some(e),
+            ServiceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EngineError> for ServiceError {
+    fn from(e: EngineError) -> Self {
+        ServiceError::Engine(e)
+    }
+}
+
+impl From<PersistError> for ServiceError {
+    fn from(e: PersistError) -> Self {
+        ServiceError::Persist(e)
+    }
+}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        ServiceError::Io(e)
+    }
+}

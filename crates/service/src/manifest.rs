@@ -1,0 +1,170 @@
+//! The service manifest: the `(config, seed, policy)` identity of a
+//! data directory, persisted at first boot and reloaded on every
+//! restart.
+//!
+//! Resume correctness requires the restarted daemon to rebuild the
+//! *identical* engine — same configuration fingerprint, same selector,
+//! same seed — before replaying the write-ahead log. The manifest pins
+//! all of that in `manifest.json` inside the data directory, so restart
+//! takes only `--data-dir`; command-line scheduling flags apply to
+//! fresh directories and are refused as drift on existing ones.
+
+use std::path::{Path, PathBuf};
+
+use ecosched_engine::{ArrivalConfig, EngineConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::admission::AdmissionPolicy;
+use crate::error::ServiceError;
+
+/// Which slot-selection algorithm the daemon schedules with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SelectorChoice {
+    /// Aggregated-budget selection (the paper's AMP).
+    Amp,
+    /// Per-slot price-cap selection (the paper's ALP).
+    Alp,
+}
+
+/// Everything a restarted daemon needs to rebuild the exact engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceManifest {
+    /// The engine seed.
+    pub seed: u64,
+    /// The engine configuration. `arrivals` must be
+    /// [`ArrivalConfig::External`] — service mode owns the job stream.
+    pub config: EngineConfig,
+    /// The scheduling algorithm.
+    pub selector: SelectorChoice,
+    /// The admission policy.
+    pub admission: AdmissionPolicy,
+    /// Snapshot after every N-th cycle tick (0 disables cadence
+    /// snapshots; shutdown still snapshots).
+    pub snapshot_every_cycles: u32,
+    /// Rotated snapshots retained on disk.
+    pub keep_snapshots: usize,
+}
+
+impl Default for ServiceManifest {
+    fn default() -> Self {
+        ServiceManifest {
+            seed: 42,
+            config: EngineConfig {
+                arrivals: ArrivalConfig::External,
+                cycles: 64,
+                ..EngineConfig::default()
+            },
+            selector: SelectorChoice::Amp,
+            admission: AdmissionPolicy::default(),
+            snapshot_every_cycles: 4,
+            keep_snapshots: 3,
+        }
+    }
+}
+
+impl ServiceManifest {
+    /// Validates service-mode constraints on top of engine validation.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Config`] describing the violation.
+    pub fn validate(&self) -> Result<(), ServiceError> {
+        self.config
+            .validate()
+            .map_err(|e| ServiceError::Config(e.to_string()))?;
+        if self.config.arrivals != ArrivalConfig::External {
+            return Err(ServiceError::Config(
+                "service mode requires arrivals = External: every job must enter \
+                 through the socket so the WAL is the complete job stream"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The final cycle tick — the daemon's scheduling horizon.
+    #[must_use]
+    pub fn horizon(&self) -> i64 {
+        i64::from(self.config.cycles.saturating_sub(1)) * self.config.cycle_length
+    }
+}
+
+/// Path of the manifest inside a data directory.
+#[must_use]
+pub fn manifest_path(data_dir: &Path) -> PathBuf {
+    data_dir.join("manifest.json")
+}
+
+/// Saves the manifest (pretty-printed for operator eyes).
+///
+/// # Errors
+///
+/// [`ServiceError::Io`] on write failure.
+pub fn save_manifest(data_dir: &Path, manifest: &ServiceManifest) -> Result<(), ServiceError> {
+    let text = serde_json::to_string_pretty(manifest).unwrap_or_default();
+    std::fs::write(manifest_path(data_dir), text)?;
+    Ok(())
+}
+
+/// Loads the manifest of an existing data directory, if there is one.
+///
+/// # Errors
+///
+/// [`ServiceError::Io`] on read failure, [`ServiceError::Config`] when
+/// the file exists but does not parse or validate.
+pub fn load_manifest(data_dir: &Path) -> Result<Option<ServiceManifest>, ServiceError> {
+    let path = manifest_path(data_dir);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(ServiceError::Io(e)),
+    };
+    let manifest: ServiceManifest = serde_json::from_str(&text)
+        .map_err(|e| ServiceError::Config(format!("manifest.json does not parse: {e}")))?;
+    manifest.validate()?;
+    Ok(Some(manifest))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_manifest_validates() {
+        ServiceManifest::default().validate().unwrap();
+    }
+
+    #[test]
+    fn generator_arrivals_are_refused() {
+        let bad = ServiceManifest {
+            config: EngineConfig::default(), // Poisson arrivals
+            ..ServiceManifest::default()
+        };
+        assert!(matches!(bad.validate(), Err(ServiceError::Config(_))));
+    }
+
+    #[test]
+    fn manifest_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("ecosched-manifest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = ServiceManifest::default();
+        save_manifest(&dir, &manifest).unwrap();
+        let back = load_manifest(&dir).unwrap().expect("saved");
+        assert_eq!(back, manifest);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_manifest_is_none() {
+        let dir = std::env::temp_dir().join("ecosched-manifest-missing");
+        std::fs::create_dir_all(&dir).unwrap();
+        let _ = std::fs::remove_file(manifest_path(&dir));
+        assert!(load_manifest(&dir).unwrap().is_none());
+    }
+
+    #[test]
+    fn horizon_is_last_tick() {
+        let m = ServiceManifest::default();
+        assert_eq!(m.horizon(), 63 * 60);
+    }
+}

@@ -1,0 +1,437 @@
+//! The daemon's core state machine, socket-free and fully testable
+//! in-process: boot (fresh or crash-resume), admission, injection,
+//! group commit, virtual-time advancement, snapshot cadence, and
+//! graceful shutdown.
+//!
+//! # Durability and ordering
+//!
+//! A submission moves through exactly this sequence:
+//!
+//! 1. [`Session::submit`] — admission check, then [`Engine::submit`]
+//!    injects the arrival into live state and the entry is *staged*;
+//! 2. [`Session::commit`] — every staged entry is appended to the
+//!    write-ahead log and fsynced **once** (group commit), then handed
+//!    back as acknowledgements;
+//! 3. only now does the daemon send `Accepted` to the client.
+//!
+//! Snapshots are only taken with an empty stage ([`Session::advance_to`]
+//! and [`Session::shutdown`] both commit first), so every snapshot's
+//! arrival set is a prefix of the WAL — the invariant crash recovery
+//! rests on. Losing the process at any point therefore loses only
+//! unacknowledged submissions.
+//!
+//! # Resume
+//!
+//! [`Session::open`] loads the newest usable snapshot (walking past
+//! corrupt ones), verifies that every WAL entry the snapshot claims to
+//! contain matches it, rebuilds the run with [`Engine::resume`], and
+//! re-injects the WAL suffix by stepping the engine to each entry's
+//! recorded injection point — reproducing the crashed process's event
+//! log byte-for-byte.
+
+use std::path::{Path, PathBuf};
+
+use ecosched_core::TimePoint;
+use ecosched_engine::{Engine, Event, RunState};
+use ecosched_persist::SnapshotStore;
+use ecosched_select::SlotSelector;
+
+use crate::admission::{decide, MarketView};
+use crate::error::ServiceError;
+use crate::manifest::ServiceManifest;
+use crate::protocol::{DaemonStatus, JobSpec, RejectReason};
+use crate::wal::{load_wal, Wal, WalEntry};
+
+/// An acknowledgement owed to a client after a commit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ack {
+    /// The engine job id.
+    pub job: u32,
+    /// The effective arrival time.
+    pub time: i64,
+}
+
+/// How a session came up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BootMode {
+    /// No usable snapshot: fresh run, whole WAL replayed from the seed.
+    Fresh {
+        /// WAL entries re-injected during boot.
+        replayed: u64,
+    },
+    /// Resumed from a snapshot, WAL suffix re-injected.
+    Resumed {
+        /// The snapshot file used.
+        snapshot: PathBuf,
+        /// Events the snapshot contained.
+        snapshot_events: u64,
+        /// WAL entries re-injected past the snapshot.
+        replayed: u64,
+        /// Newer snapshot files skipped as corrupt or truncated.
+        snapshots_skipped: usize,
+    },
+}
+
+/// The live daemon state: engine run + durability apparatus.
+#[derive(Debug)]
+pub struct Session<S> {
+    engine: Engine<S>,
+    state: RunState,
+    manifest: ServiceManifest,
+    store: SnapshotStore,
+    wal: Wal,
+    staged: Vec<WalEntry>,
+    rejected_total: u64,
+    draining: bool,
+    boot_mode: BootMode,
+}
+
+/// WAL file name inside a data directory.
+#[must_use]
+pub fn wal_path(data_dir: &Path) -> PathBuf {
+    data_dir.join("wal.ndjson")
+}
+
+/// Snapshot directory inside a data directory.
+#[must_use]
+pub fn snapshot_dir(data_dir: &Path) -> PathBuf {
+    data_dir.join("snapshots")
+}
+
+impl<S: SlotSelector + Copy> Session<S> {
+    /// Boots a session from a data directory: fresh when it holds no
+    /// snapshot, crash-resume otherwise. The WAL (or its suffix) is
+    /// re-injected; on return the state is exactly what the previous
+    /// process would have reached, and every previously acknowledged
+    /// job is present.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Diverged`] when the durable record is internally
+    /// inconsistent (snapshot and WAL disagree); otherwise the
+    /// underlying engine/persist/io error.
+    pub fn open(
+        data_dir: &Path,
+        manifest: ServiceManifest,
+        selector: S,
+    ) -> Result<Self, ServiceError> {
+        manifest.validate()?;
+        std::fs::create_dir_all(data_dir)?;
+        // Every bootable data directory self-describes: offline
+        // verification needs the manifest even if the daemon never
+        // wrote one.
+        if crate::manifest::load_manifest(data_dir)?.is_none() {
+            crate::manifest::save_manifest(data_dir, &manifest)?;
+        }
+        let engine = Engine::new(manifest.config.clone(), selector)
+            .map_err(|e| ServiceError::Config(e.to_string()))?;
+        let store = SnapshotStore::open(snapshot_dir(data_dir), manifest.keep_snapshots)?;
+        let loaded = load_wal(&wal_path(data_dir))?;
+
+        let (mut state, boot_mode) = match store.load_latest()? {
+            Some(latest) => {
+                let snapshot_events = latest.checkpoint.log.len() as u64;
+                let acked_in_snapshot = latest.checkpoint.arrivals.len();
+                // Every arrival the snapshot carries must be the WAL's
+                // prefix — same job ids, same times, same requests.
+                if loaded.entries.len() < acked_in_snapshot {
+                    return Err(ServiceError::Diverged(format!(
+                        "snapshot holds {acked_in_snapshot} arrivals but the WAL only \
+                         records {}",
+                        loaded.entries.len()
+                    )));
+                }
+                for (i, entry) in loaded.entries[..acked_in_snapshot].iter().enumerate() {
+                    let arrival = &latest.checkpoint.arrivals[i];
+                    let request = entry
+                        .spec
+                        .to_request()
+                        .map_err(|e| ServiceError::Diverged(format!("WAL entry {i}: {e}")))?;
+                    if entry.job as usize != i
+                        || arrival.time != entry.time
+                        || arrival.request != request
+                    {
+                        return Err(ServiceError::Diverged(format!(
+                            "snapshot arrival {i} does not match WAL entry \
+                             (job {}, time {} vs {})",
+                            entry.job, arrival.time, entry.time
+                        )));
+                    }
+                }
+                let state = engine.resume(&latest.checkpoint)?;
+                (
+                    state,
+                    BootMode::Resumed {
+                        snapshot: latest.path,
+                        snapshot_events,
+                        replayed: (loaded.entries.len() - acked_in_snapshot) as u64,
+                        snapshots_skipped: latest.skipped.len(),
+                    },
+                )
+            }
+            None => (
+                engine.start(manifest.seed),
+                BootMode::Fresh {
+                    replayed: loaded.entries.len() as u64,
+                },
+            ),
+        };
+
+        // Re-inject the WAL suffix at its recorded injection points.
+        let already = state.arrivals_len();
+        for entry in &loaded.entries[already.min(loaded.entries.len())..] {
+            reinject(&engine, &mut state, entry)?;
+        }
+        if state.arrivals_len() != loaded.entries.len() {
+            return Err(ServiceError::Diverged(format!(
+                "replay produced {} arrivals for {} WAL entries",
+                state.arrivals_len(),
+                loaded.entries.len()
+            )));
+        }
+
+        // Cut a torn/corrupt tail (never acknowledged — acks follow
+        // fsync of intact lines) so this process's appends extend the
+        // trusted prefix instead of hiding behind garbage the next load
+        // would refuse to read past. Runs after the snapshot checks:
+        // a tail the snapshot vouches for is a divergence, not a tear.
+        if loaded.dropped_lines > 0 {
+            let file = std::fs::OpenOptions::new()
+                .write(true)
+                .open(wal_path(data_dir))?;
+            file.set_len(loaded.trusted_bytes)?;
+            file.sync_data()?;
+        }
+        let wal = Wal::open_append(wal_path(data_dir))?;
+        Ok(Session {
+            engine,
+            state,
+            manifest,
+            store,
+            wal,
+            staged: Vec::new(),
+            rejected_total: 0,
+            draining: false,
+            boot_mode,
+        })
+    }
+
+    /// How this session booted.
+    #[must_use]
+    pub fn boot_mode(&self) -> &BootMode {
+        &self.boot_mode
+    }
+
+    /// The manifest in force.
+    #[must_use]
+    pub fn manifest(&self) -> &ServiceManifest {
+        &self.manifest
+    }
+
+    /// The live run state (read-only).
+    #[must_use]
+    pub fn state(&self) -> &RunState {
+        &self.state
+    }
+
+    /// Virtual time the session has advanced to so far.
+    #[must_use]
+    pub fn virtual_time(&self) -> i64 {
+        self.state.last_time().ticks()
+    }
+
+    /// Wall-clock time until the next queued event is due, given the
+    /// current virtual time and the pacing rate; zero when it is already
+    /// due, `None` when the queue is drained. The serve loop uses this
+    /// to sleep exactly as long as pacing allows instead of polling.
+    #[must_use]
+    pub fn next_event_in(&self, now: i64, ticks_per_sec: f64) -> Option<std::time::Duration> {
+        let next = self.state.next_event_time()?.ticks();
+        let ticks = (next - now).max(0) as f64;
+        Some(std::time::Duration::from_secs_f64(
+            ticks / ticks_per_sec.max(1e-9),
+        ))
+    }
+
+    /// Admits and injects one submission at virtual time `now`. On
+    /// acceptance the entry is staged — it is durable (and may be
+    /// acknowledged) only after the next [`Self::commit`].
+    ///
+    /// # Errors
+    ///
+    /// The typed rejection; nothing was staged or mutated.
+    pub fn submit(&mut self, spec: &JobSpec, now: i64) -> Result<Ack, RejectReason> {
+        if self.draining {
+            self.rejected_total += 1;
+            return Err(RejectReason::ShuttingDown);
+        }
+        let view = MarketView {
+            backlog: self.state.backlog() as u64,
+            vacant: self.state.vacant(),
+            now,
+            cycle_length: self.manifest.config.cycle_length,
+            horizon: self.manifest.horizon(),
+        };
+        let request = match decide(
+            &self.manifest.admission,
+            &view,
+            spec,
+            self.staged.len() as u64,
+        ) {
+            Ok(request) => request,
+            Err(reason) => {
+                self.rejected_total += 1;
+                return Err(reason);
+            }
+        };
+        let injected_after = self.state.events_processed() as u64;
+        let (job, time) = self
+            .engine
+            .submit(&mut self.state, request, TimePoint::new(now));
+        self.staged.push(WalEntry {
+            job,
+            injected_after,
+            time: time.ticks(),
+            spec: *spec,
+        });
+        Ok(Ack {
+            job,
+            time: time.ticks(),
+        })
+    }
+
+    /// Makes every staged submission durable with one fsync and returns
+    /// the acknowledgements now safe to send.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Io`] — **fatal**: the staged injections are
+    /// already in live state but not durable, so the daemon must exit
+    /// (clients were never acked; the restart recovers consistently).
+    pub fn commit(&mut self) -> Result<Vec<Ack>, ServiceError> {
+        self.wal.append_batch(&self.staged)?;
+        let acks = self
+            .staged
+            .drain(..)
+            .map(|e| Ack {
+                job: e.job,
+                time: e.time,
+            })
+            .collect();
+        Ok(acks)
+    }
+
+    /// Processes every queued event at or before virtual time `target`,
+    /// taking cadence snapshots after cycle ticks. Commits first so no
+    /// snapshot can outrun the WAL. Returns snapshots taken.
+    ///
+    /// # Errors
+    ///
+    /// Engine or snapshot failures.
+    pub fn advance_to(&mut self, target: i64) -> Result<u32, ServiceError> {
+        if !self.staged.is_empty() {
+            return Err(ServiceError::Diverged(
+                "advance_to with uncommitted staged submissions (acks would be lost)".into(),
+            ));
+        }
+        let mut snapshots = 0u32;
+        while let Some(next) = self.state.next_event_time() {
+            if next.ticks() > target {
+                break;
+            }
+            let Some(entry) = self.engine.step(&mut self.state)? else {
+                break;
+            };
+            if let Event::CycleTick { cycle } = entry.event {
+                let every = self.manifest.snapshot_every_cycles;
+                if every > 0 && (cycle + 1) % every == 0 {
+                    self.snapshot()?;
+                    snapshots += 1;
+                }
+            }
+        }
+        Ok(snapshots)
+    }
+
+    /// Captures a rotated snapshot now.
+    ///
+    /// # Errors
+    ///
+    /// Snapshot write failures.
+    pub fn snapshot(&mut self) -> Result<PathBuf, ServiceError> {
+        Ok(self.store.save(&self.engine.checkpoint(&self.state))?)
+    }
+
+    /// Commits, snapshots, and switches to draining: all later submits
+    /// are rejected with [`RejectReason::ShuttingDown`]. Returns the
+    /// final acks to deliver before exit.
+    ///
+    /// # Errors
+    ///
+    /// Commit or snapshot failures.
+    pub fn shutdown(&mut self) -> Result<Vec<Ack>, ServiceError> {
+        let acks = self.commit()?;
+        self.snapshot()?;
+        self.draining = true;
+        Ok(acks)
+    }
+
+    /// The status answer, with the log hash computed on demand.
+    #[must_use]
+    pub fn status(&self) -> DaemonStatus {
+        DaemonStatus {
+            virtual_time: self.virtual_time(),
+            events_processed: self.state.events_processed() as u64,
+            arrivals: self.state.arrivals_len() as u64,
+            backlog: self.state.backlog() as u64,
+            active_leases: self.state.active_leases() as u64,
+            accepted_total: self.state.arrivals_len() as u64,
+            rejected_total: self.rejected_total,
+            log_hash: self.state.log().fnv1a_hash(),
+        }
+    }
+}
+
+/// Steps `state` to `entry`'s recorded injection point and re-injects
+/// it, checking the reconstruction matches the record.
+pub(crate) fn reinject<S: SlotSelector + Copy>(
+    engine: &Engine<S>,
+    state: &mut RunState,
+    entry: &WalEntry,
+) -> Result<(), ServiceError> {
+    while (state.events_processed() as u64) < entry.injected_after {
+        if engine.step(state)?.is_none() {
+            return Err(ServiceError::Diverged(format!(
+                "event queue drained at {} events, before WAL entry {}'s \
+                 injection point {}",
+                state.events_processed(),
+                entry.job,
+                entry.injected_after
+            )));
+        }
+    }
+    if state.events_processed() as u64 != entry.injected_after {
+        return Err(ServiceError::Diverged(format!(
+            "stepped past WAL entry {}'s injection point ({} > {})",
+            entry.job,
+            state.events_processed(),
+            entry.injected_after
+        )));
+    }
+    let request = entry
+        .spec
+        .to_request()
+        .map_err(|e| ServiceError::Diverged(format!("WAL entry {}: {e}", entry.job)))?;
+    let (job, time) = engine.submit(state, request, TimePoint::new(entry.time));
+    if job != entry.job || time.ticks() != entry.time {
+        return Err(ServiceError::Diverged(format!(
+            "re-injection of WAL entry {} produced (job {job}, time {}), \
+             recorded (job {}, time {})",
+            entry.job,
+            time.ticks(),
+            entry.job,
+            entry.time
+        )));
+    }
+    Ok(())
+}

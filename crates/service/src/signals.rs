@@ -1,0 +1,57 @@
+//! Minimal SIGTERM/SIGINT latching without a libc dependency.
+//!
+//! The daemon needs exactly one bit from the OS: "a termination signal
+//! arrived". The handler only stores to an atomic (async-signal-safe);
+//! the serve loop polls [`term_requested`] between batches and performs
+//! the graceful snapshot-and-exit itself. `SIGKILL` is, by design,
+//! unhandleable — that path is covered by the write-ahead log and the
+//! crash-resume tests instead.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERM_FLAG: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    /// POSIX `signal(2)`. The vendored dependency set has no libc
+    /// crate, so the one symbol needed is declared directly; it is part
+    /// of every libc this workspace builds against.
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+extern "C" fn latch_term(_signum: i32) {
+    TERM_FLAG.store(true, Ordering::SeqCst);
+}
+
+/// Installs the latching handler for SIGTERM and SIGINT. Idempotent.
+pub fn install_term_handler() {
+    let handler = latch_term as extern "C" fn(i32);
+    // SAFETY: `signal` is the POSIX API; the handler is a plain
+    // `extern "C" fn(i32)` that only stores to a static atomic, which
+    // is async-signal-safe.
+    unsafe {
+        signal(SIGTERM, handler as usize);
+        signal(SIGINT, handler as usize);
+    }
+}
+
+/// Whether a termination signal has arrived since startup.
+#[must_use]
+pub fn term_requested() -> bool {
+    TERM_FLAG.load(Ordering::SeqCst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_starts_clear_and_latches() {
+        install_term_handler();
+        assert!(!term_requested());
+        latch_term(SIGTERM);
+        assert!(term_requested());
+    }
+}

@@ -1,0 +1,252 @@
+//! The write-ahead log: the durable record of every accepted
+//! submission, sufficient to reproduce the daemon's event log exactly.
+//!
+//! Service mode sharpens the engine's determinism contract to: a run is
+//! a pure function of `(config, seed, accepted-submission sequence)`,
+//! where each accepted submission is identified by the number of events
+//! the engine had processed when it was injected, its (clamped) arrival
+//! time, and the spec. That triple is exactly one [`WalEntry`]. Replaying
+//! the WAL through a fresh engine — stepping to each entry's injection
+//! point, then injecting — reproduces a byte-identical event log; see
+//! [`crate::replay`].
+//!
+//! On disk the WAL is append-only newline-delimited text. Each line is
+//! `<16-hex FNV-1a 64 of payload> <payload JSON>`. Loading stops at the
+//! first unparsable or checksum-failing line: a torn final line is an
+//! interrupted append whose submission was never acknowledged (acks
+//! happen only after fsync), so dropping it loses nothing a client was
+//! promised. [`LoadedWal::trusted_bytes`] marks where trust ends; on
+//! boot the session truncates the file there, so appends from the new
+//! process extend the trusted prefix instead of hiding behind the torn
+//! garbage (where the *next* load would refuse to read past them).
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+use ecosched_engine::event::fnv1a_64;
+use serde::{Deserialize, Serialize};
+
+use crate::protocol::JobSpec;
+
+/// One accepted submission, as recorded before its ack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WalEntry {
+    /// The engine job id assigned at injection (arrival-stream index).
+    pub job: u32,
+    /// Events the engine had processed when this job was injected. The
+    /// replayer steps the engine to exactly this count before
+    /// re-injecting, reproducing the live interleaving.
+    pub injected_after: u64,
+    /// The effective (clamped) virtual arrival time.
+    pub time: i64,
+    /// The submitted job.
+    pub spec: JobSpec,
+}
+
+/// The result of loading a WAL from disk.
+#[derive(Debug)]
+pub struct LoadedWal {
+    /// Entries in append order.
+    pub entries: Vec<WalEntry>,
+    /// Trailing lines dropped as torn or corrupt. Anything beyond 1 (a
+    /// single interrupted append) indicates external damage.
+    pub dropped_lines: usize,
+    /// Byte length of the trusted prefix: every entry in `entries` lies
+    /// below it, everything at or past it is torn or corrupt. A booting
+    /// session truncates the file to this length before appending.
+    pub trusted_bytes: u64,
+}
+
+/// An append-only WAL writer with group commit.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+}
+
+impl Wal {
+    /// Opens the WAL for appending, creating it if absent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O failure.
+    pub fn open_append(path: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let path = path.into();
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Wal { file, path })
+    }
+
+    /// The file this WAL appends to.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends a batch of entries and fsyncs once (group commit). Only
+    /// after this returns may the daemon acknowledge any entry in the
+    /// batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O failure; on error the batch must
+    /// not be acknowledged (the tail may be torn, which load tolerates).
+    pub fn append_batch(&mut self, entries: &[WalEntry]) -> std::io::Result<()> {
+        if entries.is_empty() {
+            return Ok(());
+        }
+        let mut out = BufWriter::new(&self.file);
+        for entry in entries {
+            out.write_all(encode_entry(entry).as_bytes())?;
+        }
+        out.flush()?;
+        drop(out);
+        self.file.sync_data()
+    }
+}
+
+/// Encodes one entry as its checksummed wire line (with newline).
+fn encode_entry(entry: &WalEntry) -> String {
+    let payload = serde_json::to_string(entry).unwrap_or_default();
+    format!("{:016x} {payload}\n", fnv1a_64(payload.as_bytes()))
+}
+
+/// Parses one line; `None` for torn/corrupt lines.
+fn decode_entry(line: &str) -> Option<WalEntry> {
+    let (checksum, payload) = line.split_once(' ')?;
+    let expected = u64::from_str_radix(checksum, 16).ok()?;
+    if fnv1a_64(payload.as_bytes()) != expected {
+        return None;
+    }
+    serde_json::from_str(payload).ok()
+}
+
+/// Loads a WAL, tolerating a torn tail. A missing file is an empty WAL.
+///
+/// # Errors
+///
+/// Propagates I/O failures other than the file not existing.
+pub fn load_wal(path: &Path) -> std::io::Result<LoadedWal> {
+    let mut text = String::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_string(&mut text)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(LoadedWal {
+                entries: Vec::new(),
+                dropped_lines: 0,
+                trusted_bytes: 0,
+            })
+        }
+        Err(e) => return Err(e),
+    }
+    let mut entries = Vec::new();
+    let mut dropped = 0usize;
+    let mut trusted_bytes = 0u64;
+    for piece in text.split_inclusive('\n') {
+        // A line without its newline is an interrupted append even when
+        // the content happens to parse — the next append would fuse
+        // with it, so it is not trusted.
+        let complete = piece.ends_with('\n');
+        let line = piece.trim_end_matches(['\n', '\r']);
+        if line.is_empty() {
+            if dropped == 0 && complete {
+                trusted_bytes += piece.len() as u64;
+            }
+            continue;
+        }
+        match decode_entry(line) {
+            // Entries are only trusted up to the first bad line: a torn
+            // append means everything after it postdates the crash point.
+            Some(entry) if dropped == 0 && complete => {
+                entries.push(entry);
+                trusted_bytes += piece.len() as u64;
+            }
+            _ => dropped += 1,
+        }
+    }
+    Ok(LoadedWal {
+        entries,
+        dropped_lines: dropped,
+        trusted_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(job: u32) -> WalEntry {
+        WalEntry {
+            job,
+            injected_after: u64::from(job) * 3,
+            time: i64::from(job) * 7,
+            spec: JobSpec {
+                nodes: 2,
+                wall_ticks: 30,
+                min_perf_milli: 1000,
+                price_cap_micro: 1_500_000,
+                deadline_tick: None,
+            },
+        }
+    }
+
+    fn scratch(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("ecosched-wal-{tag}-{}.ndjson", std::process::id()))
+    }
+
+    #[test]
+    fn round_trips_batches() {
+        let path = scratch("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let mut wal = Wal::open_append(&path).unwrap();
+        wal.append_batch(&[entry(0), entry(1)]).unwrap();
+        wal.append_batch(&[]).unwrap();
+        wal.append_batch(&[entry(2)]).unwrap();
+        let loaded = load_wal(&path).unwrap();
+        assert_eq!(loaded.entries, vec![entry(0), entry(1), entry(2)]);
+        assert_eq!(loaded.dropped_lines, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_not_fatal() {
+        let path = scratch("torn");
+        let _ = std::fs::remove_file(&path);
+        let mut wal = Wal::open_append(&path).unwrap();
+        wal.append_batch(&[entry(0), entry(1)]).unwrap();
+        // Simulate a crash mid-append: half a line at the tail.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        let intact = text.len() as u64;
+        text.push_str("0123456789abcdef {\"job\":2,\"injected_aft");
+        std::fs::write(&path, &text).unwrap();
+        let loaded = load_wal(&path).unwrap();
+        assert_eq!(loaded.entries, vec![entry(0), entry(1)]);
+        assert_eq!(loaded.dropped_lines, 1);
+        assert_eq!(loaded.trusted_bytes, intact, "trust ends at the tear");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_middle_line_stops_trust() {
+        let path = scratch("middle");
+        let _ = std::fs::remove_file(&path);
+        let mut wal = Wal::open_append(&path).unwrap();
+        wal.append_batch(&[entry(0), entry(1), entry(2)]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+        lines[1] = lines[1].replace("\"job\":1", "\"job\":9");
+        std::fs::write(&path, lines.join("\n")).unwrap();
+        let loaded = load_wal(&path).unwrap();
+        assert_eq!(loaded.entries, vec![entry(0)]);
+        assert_eq!(loaded.dropped_lines, 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let loaded = load_wal(Path::new("/nonexistent/ecosched.wal")).unwrap();
+        assert!(loaded.entries.is_empty());
+    }
+}

@@ -1,0 +1,247 @@
+//! In-process durability tests for [`ecosched_service::Session`]:
+//! fresh boot, staged-then-committed submissions, crash-replay from the
+//! WAL alone, snapshot+suffix resume, and offline verification — all
+//! without sockets or child processes (the lifecycle harness covers
+//! those).
+
+use std::path::{Path, PathBuf};
+
+use ecosched_select::Amp;
+use ecosched_service::{
+    verify_data_dir, BootMode, JobSpec, RejectReason, ServiceManifest, Session,
+};
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ecosched-session-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A spec virtually every generated node satisfies: minimum performance
+/// at the generator floor, price cap above the generator ceiling
+/// (`1.7^3 * 1.25 ≈ 6.1`), no deadline.
+fn easy_spec() -> JobSpec {
+    JobSpec {
+        nodes: 2,
+        wall_ticks: 30,
+        min_perf_milli: 1000,
+        price_cap_micro: 10_000_000,
+        deadline_tick: None,
+    }
+}
+
+fn open(dir: &Path) -> Session<Amp> {
+    Session::open(dir, ServiceManifest::default(), Amp::new()).expect("session open")
+}
+
+#[test]
+fn fresh_boot_submit_commit_advance_verify() {
+    let dir = scratch_dir("fresh");
+    let mut session = open(&dir);
+    assert_eq!(*session.boot_mode(), BootMode::Fresh { replayed: 0 });
+
+    // The market is empty until the first publication event runs.
+    let rejected = session.submit(&easy_spec(), 0).unwrap_err();
+    assert!(
+        matches!(rejected, RejectReason::BudgetInfeasible { .. }),
+        "pre-publication market should reject: {rejected}"
+    );
+    session.advance_to(0).expect("advance to t=0");
+
+    let a = session.submit(&easy_spec(), 0).expect("first accept");
+    let b = session.submit(&easy_spec(), 0).expect("second accept");
+    assert_eq!((a.job, b.job), (0, 1), "job ids are arrival indices");
+
+    // Staged-but-uncommitted submissions block advancement: an ack
+    // could otherwise be lost between injection and fsync.
+    assert!(session.advance_to(60).is_err());
+
+    let acks = session.commit().expect("group commit");
+    assert_eq!(acks, vec![a, b]);
+    assert!(session.commit().expect("empty commit").is_empty());
+
+    session
+        .advance_to(250)
+        .expect("advance past snapshot cadence");
+    let c = session.submit(&easy_spec(), 250).expect("third accept");
+    assert_eq!(c.job, 2);
+    session.commit().expect("commit third");
+
+    let status = session.status();
+    assert_eq!(status.accepted_total, 3);
+    assert_eq!(status.rejected_total, 1);
+
+    let report = verify_data_dir(&dir).expect("offline verification");
+    assert_eq!(report.wal_entries, 3);
+    assert_eq!(report.wal_dropped_lines, 0);
+    assert!(
+        report.snapshot_events > 0,
+        "default cadence (every 4 cycles) should have snapshotted by t=250"
+    );
+}
+
+#[test]
+fn crash_without_snapshot_replays_the_wal_exactly() {
+    let dir = scratch_dir("wal-only");
+    let (hash, accepted) = {
+        let mut session = Session::open(
+            &dir,
+            ServiceManifest {
+                // Cadence off: the WAL is the only durable record.
+                snapshot_every_cycles: 0,
+                ..ServiceManifest::default()
+            },
+            Amp::new(),
+        )
+        .expect("first open");
+        session.advance_to(0).expect("advance");
+        session.submit(&easy_spec(), 0).expect("accept 0");
+        session.submit(&easy_spec(), 0).expect("accept 1");
+        session.commit().expect("commit");
+        let status = session.status();
+        (status.log_hash, status.accepted_total)
+        // Dropped here without shutdown: a crash after the acks.
+    };
+
+    let session = Session::open(
+        &dir,
+        ServiceManifest {
+            snapshot_every_cycles: 0,
+            ..ServiceManifest::default()
+        },
+        Amp::new(),
+    )
+    .expect("reopen after crash");
+    assert_eq!(*session.boot_mode(), BootMode::Fresh { replayed: accepted });
+    let status = session.status();
+    assert_eq!(status.accepted_total, accepted, "no acked job lost");
+    assert_eq!(
+        status.log_hash, hash,
+        "byte-identical event log after replay"
+    );
+}
+
+#[test]
+fn crash_after_snapshot_resumes_from_snapshot_plus_wal_suffix() {
+    let dir = scratch_dir("snap-suffix");
+    let hash = {
+        let mut session = open(&dir);
+        session.advance_to(0).expect("advance");
+        session.submit(&easy_spec(), 0).expect("accept 0");
+        session.commit().expect("commit");
+        // Past t=180 the 4-cycle cadence has taken a snapshot; the next
+        // submission exists only in the WAL suffix.
+        let taken = session.advance_to(250).expect("advance");
+        assert!(taken > 0, "cadence snapshot expected before t=250");
+        session.submit(&easy_spec(), 250).expect("accept 1");
+        session.commit().expect("commit");
+        session.status().log_hash
+    };
+
+    let session = open(&dir);
+    match session.boot_mode() {
+        BootMode::Resumed {
+            snapshot_events,
+            replayed,
+            snapshots_skipped,
+            ..
+        } => {
+            assert!(*snapshot_events > 0);
+            assert_eq!(*replayed, 1, "exactly the post-snapshot submission");
+            assert_eq!(*snapshots_skipped, 0);
+        }
+        other => panic!("expected snapshot resume, got {other:?}"),
+    }
+    assert_eq!(session.status().accepted_total, 2);
+    assert_eq!(session.status().log_hash, hash);
+
+    let report = verify_data_dir(&dir).expect("offline verification");
+    assert_eq!(report.wal_entries, 2);
+    assert_eq!(report.acked_in_snapshot, 1);
+}
+
+#[test]
+fn graceful_shutdown_then_reopen_is_clean_resume() {
+    let dir = scratch_dir("graceful");
+    let hash = {
+        let mut session = open(&dir);
+        session.advance_to(100).expect("advance");
+        session.submit(&easy_spec(), 100).expect("accept");
+        session.shutdown().expect("graceful shutdown");
+        // Draining: everything after shutdown is refused.
+        assert!(matches!(
+            session.submit(&easy_spec(), 100),
+            Err(RejectReason::ShuttingDown)
+        ));
+        session.status().log_hash
+    };
+
+    let session = open(&dir);
+    match session.boot_mode() {
+        BootMode::Resumed { replayed, .. } => {
+            assert_eq!(*replayed, 0, "shutdown snapshot already held every arrival");
+        }
+        other => panic!("expected snapshot resume, got {other:?}"),
+    }
+    assert_eq!(session.status().log_hash, hash);
+}
+
+#[test]
+fn torn_wal_tail_loses_only_unacked_work() {
+    let dir = scratch_dir("torn");
+    {
+        let mut session = Session::open(
+            &dir,
+            ServiceManifest {
+                snapshot_every_cycles: 0,
+                ..ServiceManifest::default()
+            },
+            Amp::new(),
+        )
+        .expect("open");
+        session.advance_to(0).expect("advance");
+        session.submit(&easy_spec(), 0).expect("accept 0");
+        session.submit(&easy_spec(), 0).expect("accept 1");
+        session.commit().expect("commit");
+    }
+
+    // Simulate a torn final write: chop bytes off the last WAL line.
+    let wal = ecosched_service::session::wal_path(&dir);
+    let text = std::fs::read_to_string(&wal).expect("read wal");
+    let keep = text.len() - 9;
+    std::fs::write(&wal, &text.as_bytes()[..keep]).expect("tear wal");
+
+    let mut session = Session::open(
+        &dir,
+        ServiceManifest {
+            snapshot_every_cycles: 0,
+            ..ServiceManifest::default()
+        },
+        Amp::new(),
+    )
+    .expect("reopen with torn tail");
+    // The torn entry was never durable, so it was never acked; only the
+    // intact prefix must survive.
+    assert_eq!(*session.boot_mode(), BootMode::Fresh { replayed: 1 });
+    assert_eq!(session.status().accepted_total, 1);
+
+    // Regression: boot must have truncated the tear, so a new accepted
+    // submission lands on the trusted prefix — not behind garbage that
+    // would make the next load drop it.
+    session.advance_to(0).expect("advance");
+    session.submit(&easy_spec(), 0).expect("accept after tear");
+    session.commit().expect("commit after tear");
+    drop(session);
+
+    let session = Session::open(
+        &dir,
+        ServiceManifest {
+            snapshot_every_cycles: 0,
+            ..ServiceManifest::default()
+        },
+        Amp::new(),
+    )
+    .expect("reopen again");
+    assert_eq!(*session.boot_mode(), BootMode::Fresh { replayed: 2 });
+    assert_eq!(session.status().accepted_total, 2);
+}

@@ -101,11 +101,25 @@ impl JobFate {
 pub struct RepairPolicy {
     /// Maximum recovery attempts (validations plus scans) per broken lease.
     pub max_attempts: u32,
+    /// When the bounded anchored repair is exhausted — the attempt budget
+    /// ran out, or the anchored scan came up dry — retry **once** with a
+    /// full rescan from the start of the execution list before
+    /// postponing. This is the escape hatch from the earlier-start
+    /// exclusion: under pure slot *subtraction* no earlier start can
+    /// newly become feasible, but broken leases **release** their
+    /// surviving fragments back into the list first, so a fragment of a
+    /// pre-anchor slot can make a window feasible that starts before the
+    /// broken plan. The full rescan is the only tier that can see it.
+    /// Costs one O(list) scan per otherwise-postponed lease; default off.
+    pub full_rescan_on_exhaustion: bool,
 }
 
 impl Default for RepairPolicy {
     fn default() -> Self {
-        RepairPolicy { max_attempts: 8 }
+        RepairPolicy {
+            max_attempts: 8,
+            full_rescan_on_exhaustion: false,
+        }
     }
 }
 
@@ -597,6 +611,34 @@ impl Metascheduler {
                 }
             }
 
+            // Tier 2.5 (optional, off by default): the anchored repair is
+            // exhausted — budget spent or scan dry. Retry once from the
+            // start of the execution list. Released fragments of *other*
+            // broken leases can make a window feasible that starts before
+            // this job's broken plan, and the anchored scan can never see
+            // it (earlier-start exclusion); the full rescan can.
+            if recovered.is_none() && self.policy.full_rescan_on_exhaustion {
+                stats.full_rescans_attempted += 1;
+                let mut scan = ScanStats::new();
+                let found = selector.find_window(&exec, request, &mut scan);
+                stats.budget_violations_avoided += scan.acceptance_tests - scan.windows_found;
+                stats.repair_scan.merge(&scan);
+                if let Some(window) = found {
+                    exec.subtract_window(&window)
+                        .expect("repair windows are carved from the execution list");
+                    stats.full_rescans_succeeded += 1;
+                    stats.repair_cost_delta += (window.total_cost() - original_cost).to_f64();
+                    recovered = Some((
+                        Lease {
+                            job: original.job,
+                            window,
+                            origin: LeaseOrigin::Repaired,
+                        },
+                        JobFate::Repaired,
+                    ));
+                }
+            }
+
             // Tier 3: postpone with the reason.
             match recovered {
                 Some((lease, fate)) => {
@@ -838,7 +880,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(13);
         let report = meta()
             .with_revocation(RevocationConfig::per_slot(0.15))
-            .with_repair_policy(RepairPolicy { max_attempts: 0 })
+            .with_repair_policy(RepairPolicy {
+                max_attempts: 0,
+                ..RepairPolicy::default()
+            })
             .run(Alp::new(), 5, &mut rng)
             .unwrap();
         let totals = report.repair_totals();

@@ -278,6 +278,14 @@ pub struct RepairStats {
     pub repairs_attempted: u64,
     /// Bounded repair searches that found a fresh window.
     pub repairs_succeeded: u64,
+    /// Full rescans started after the anchored repair was exhausted
+    /// (tier 2.5, only under
+    /// [`RepairPolicy::full_rescan_on_exhaustion`]).
+    ///
+    /// [`RepairPolicy::full_rescan_on_exhaustion`]: crate::RepairPolicy::full_rescan_on_exhaustion
+    pub full_rescans_attempted: u64,
+    /// Full rescans that recovered a window the anchored tiers missed.
+    pub full_rescans_succeeded: u64,
     /// Total recovered-minus-original window cost over every failover and
     /// repair, in credits (negative when recovery found cheaper windows).
     pub repair_cost_delta: f64,
@@ -314,6 +322,8 @@ impl RepairStats {
         self.failovers_taken += other.failovers_taken;
         self.repairs_attempted += other.repairs_attempted;
         self.repairs_succeeded += other.repairs_succeeded;
+        self.full_rescans_attempted += other.full_rescans_attempted;
+        self.full_rescans_succeeded += other.full_rescans_succeeded;
         self.repair_cost_delta += other.repair_cost_delta;
         self.budget_violations_avoided += other.budget_violations_avoided;
         self.repair_scan.merge(&other.repair_scan);
@@ -325,7 +335,7 @@ impl RepairStats {
     /// Broken leases that recovered without postponing.
     #[must_use]
     pub fn recovered(&self) -> u64 {
-        self.failovers_taken + self.repairs_succeeded
+        self.failovers_taken + self.repairs_succeeded + self.full_rescans_succeeded
     }
 }
 

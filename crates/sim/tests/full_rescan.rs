@@ -1,0 +1,127 @@
+//! Regression coverage for the optional tier-2.5 full-rescan repair:
+//! after the anchored repair budget is exhausted, retry once from the
+//! start of the execution list. Released fragments of *other* broken
+//! leases can form a feasible window that starts before the broken
+//! plan's own start — a region the anchored scan can never revisit — so
+//! without the rescan these jobs are postponed, not recovered.
+
+use ecosched_select::Amp;
+use ecosched_sim::{
+    IterationConfig, JobGenConfig, Metascheduler, PostponeReason, RepairPolicy, RevocationConfig,
+    SlotGenConfig,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn meta(policy: RepairPolicy) -> Metascheduler {
+    Metascheduler::new(
+        SlotGenConfig::default(),
+        JobGenConfig::default(),
+        IterationConfig::default(),
+    )
+    .with_revocation(RevocationConfig::per_slot(0.25))
+    .with_repair_policy(policy)
+}
+
+fn run(seed: u64, full_rescan: bool) -> ecosched_sim::MetaschedulerReport {
+    let policy = RepairPolicy {
+        max_attempts: 1,
+        full_rescan_on_exhaustion: full_rescan,
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    meta(policy)
+        .run(Amp::new(), 4, &mut rng)
+        .expect("simulation must not fail")
+}
+
+/// Scans a seed range and prints, for each seed, whether the rescan tier
+/// recovered leases the anchored tiers could not. Used once to pick the
+/// hardcoded seed below; kept (ignored) so the fixture can be re-derived
+/// if generator defaults change.
+#[test]
+#[ignore = "fixture finder, run by hand"]
+fn find_rescan_seed() {
+    for seed in 0..64u64 {
+        let off = run(seed, false).repair_totals();
+        let on = run(seed, true).repair_totals();
+        if on.full_rescans_succeeded > 0 {
+            println!(
+                "seed {seed}: rescans {}/{} recovered_on={} recovered_off={} \
+                 exhausted_off={} repairs_attempted={} repairs_succeeded={}",
+                on.full_rescans_succeeded,
+                on.full_rescans_attempted,
+                on.recovered(),
+                off.recovered(),
+                off.postponed_budget_exhausted,
+                on.repairs_attempted,
+                on.repairs_succeeded,
+            );
+        }
+    }
+}
+
+/// With the flag off, the broken lease hits `RepairBudgetExhausted` and
+/// is postponed; the identical seed with the flag on recovers it via the
+/// full rescan. The fate delta is attributable to the new tier alone.
+#[test]
+fn full_rescan_recovers_lease_lost_without_it() {
+    // Seed chosen by `find_rescan_seed`: the flag-off run postpones at
+    // least one lease with a budget-exhausted reason that the flag-on
+    // run repairs through tier 2.5.
+    let seed = REGRESSION_SEED;
+    let off = run(seed, false);
+    let on = run(seed, true);
+
+    let off_totals = off.repair_totals();
+    let on_totals = on.repair_totals();
+
+    // The flag-off run exhausted its repair budget on some lease...
+    assert!(
+        off_totals.postponed_budget_exhausted > 0,
+        "fixture seed no longer exhausts the anchored budget; rerun find_rescan_seed"
+    );
+    // ...and the new tier — and only the new tier — recovered leases.
+    assert!(
+        on_totals.full_rescans_succeeded > 0,
+        "fixture seed no longer exercises the rescan tier; rerun find_rescan_seed"
+    );
+    assert!(
+        on_totals.recovered() > off_totals.recovered(),
+        "rescan tier recovered nothing beyond the anchored tiers"
+    );
+    // Everything the rescan recovered came out of the postponed pool:
+    // accounting still balances in both runs.
+    for report in [&off, &on] {
+        for cycle in &report.cycles {
+            assert_eq!(
+                cycle.repair.leases_broken,
+                cycle.repair.recovered()
+                    + cycle.repair.postponed_stale
+                    + cycle.repair.postponed_budget_exhausted
+            );
+        }
+    }
+    // The flag is genuinely off by default.
+    assert!(!RepairPolicy::default().full_rescan_on_exhaustion);
+    let _ = PostponeReason::RepairBudgetExhausted; // reason cited above
+}
+
+/// The rescan tier must leave determinism intact: same seed, same flag,
+/// byte-identical reports.
+#[test]
+fn full_rescan_runs_are_deterministic() {
+    let a = run(REGRESSION_SEED, true);
+    let b = run(REGRESSION_SEED, true);
+    assert_eq!(
+        a.cycles.last().map(|c| c.repair.full_rescans_succeeded),
+        b.cycles.last().map(|c| c.repair.full_rescans_succeeded)
+    );
+    assert_eq!(a.total_scheduled(), b.total_scheduled());
+    assert_eq!(
+        a.repair_totals().full_rescans_attempted,
+        b.repair_totals().full_rescans_attempted
+    );
+}
+
+/// Fixture seed picked by [`find_rescan_seed`].
+const REGRESSION_SEED: u64 = 0;

@@ -188,7 +188,10 @@ proptest! {
         // end in a terminal fate — recovered or postponed with a reason.
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let run = meta(RevocationConfig::per_slot(0.15))
-            .with_repair_policy(RepairPolicy { max_attempts })
+            .with_repair_policy(RepairPolicy {
+                max_attempts,
+                ..RepairPolicy::default()
+            })
             .run_traced(Amp::new(), 3, &mut rng)
             .expect("simulation must not fail");
         for (cycle, trace) in run.report.cycles.iter().zip(&run.traces) {

@@ -15,6 +15,12 @@
 //!   quadratic backfill-style window search;
 //! * [`sim`] — the paper's generators, the full environment substrate,
 //!   the scheduling-iteration driver, and the metascheduler loop;
+//! * [`engine`] — the deterministic discrete-event engine driving the
+//!   pipeline online over a virtual clock;
+//! * [`persist`] — checkpoint/restore containers, snapshot rotation,
+//!   and event-log replay;
+//! * [`service`] — the streaming-submission daemon (`ecosched-serve`),
+//!   its wire protocol and client, and the crash-durable session;
 //! * [`experiments`] — one runner per table/figure of the paper.
 //!
 //! See the repository README for a tour, `DESIGN.md` for the system
@@ -61,9 +67,12 @@
 
 pub use ecosched_baseline as baseline;
 pub use ecosched_core as core;
+pub use ecosched_engine as engine;
 pub use ecosched_experiments as experiments;
 pub use ecosched_optimize as optimize;
+pub use ecosched_persist as persist;
 pub use ecosched_select as select;
+pub use ecosched_service as service;
 pub use ecosched_sim as sim;
 
 /// The most common imports in one place.

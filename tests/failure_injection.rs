@@ -150,6 +150,7 @@ fn total_revocation_postpones_every_job_with_a_clean_reason() {
     let run = churn_meta(RevocationConfig::per_slot(1.0))
         .with_repair_policy(RepairPolicy {
             max_attempts: 1_000,
+            full_rescan_on_exhaustion: false,
         })
         .run_traced(Amp::new(), 3, &mut rng)
         .unwrap();

@@ -317,13 +317,22 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 character (input is a &str, so
-                    // boundaries are valid).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    // Bulk-copy the run up to the next quote or escape.
+                    // Scanning bytes is UTF-8-safe (`"` and `\` never
+                    // occur as continuation bytes), and validating only
+                    // the run keeps parsing linear — re-validating from
+                    // here to the end of input for every character made
+                    // megabyte documents quadratic.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| Error::custom("invalid utf-8"))?;
-                    let c = rest.chars().next().expect("non-empty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(run);
                 }
                 None => return Err(Error::custom("unterminated string")),
             }
@@ -422,5 +431,49 @@ mod tests {
         let v: Vec<u64> = from_str("[1,2,3]").unwrap();
         assert_eq!(v, vec![1, 2, 3]);
         assert_eq!(to_string(&v).unwrap(), "[1,2,3]");
+    }
+
+    #[test]
+    fn strings_mix_runs_escapes_and_multibyte() {
+        let cases = [
+            "plain",
+            "tab\there",
+            "quote\"and\\slash",
+            "héllo wörld — ∑ 日本語",
+            "run\nrun\"run\\é",
+            "",
+            "\\",
+            "\u{1}\u{1f}",
+        ];
+        for case in cases {
+            let text = to_string(&case.to_string()).unwrap();
+            let back: String = from_str(&text).unwrap();
+            assert_eq!(back, case, "round trip of {case:?}");
+        }
+    }
+
+    #[test]
+    fn megabyte_documents_parse_in_linear_time() {
+        // Regression guard: per-character re-validation of the whole
+        // remaining input once made string-heavy multi-megabyte
+        // documents (engine snapshots) take tens of seconds to parse.
+        let entry = r#"{"kind":"SlotPublished","slot":12345,"node":67,"price":"1.702500"}"#;
+        let doc = format!(
+            "[{}]",
+            std::iter::repeat_n(entry, 40_000)
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        assert!(doc.len() > 2_000_000);
+        let started = std::time::Instant::now();
+        let value: Value = from_str(&doc).unwrap();
+        assert_eq!(value.as_seq().unwrap().len(), 40_000);
+        // Generous bound: ~40 ms release / well under 1 s debug when
+        // linear; the quadratic version took >10 s in release.
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(8),
+            "large-document parse took {:?}",
+            started.elapsed()
+        );
     }
 }
