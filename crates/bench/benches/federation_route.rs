@@ -1,0 +1,79 @@
+//! Bench: superscheduler routing cost versus shard count.
+//!
+//! One claim, recorded in `BENCH_federation.json`: the cheapest-probe
+//! routing decision scans every shard's vacant market, so its cost grows
+//! with the shard count while the *per-shard* market shrinks when the
+//! same total capacity is partitioned. `federation_route/probe/{1,4,16}`
+//! measures [`Federation::probe_cheapest`] — the read-only core of
+//! `RoutePolicy::CheapestProbe` — against a federation advanced to the
+//! middle of a seeded run, so every shard's market carries realistic
+//! mid-run fragmentation (carved leases, returned tails), not a fresh
+//! publication.
+//!
+//! Run with `ECOSCHED_BENCH_REPORT=BENCH_federation.json cargo bench
+//! -p ecosched-bench --bench federation_route`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecosched_core::{Perf, Price, ResourceRequest, TimeDelta, TimePoint};
+use ecosched_engine::{ArrivalConfig, EngineConfig};
+use ecosched_federation::{Federation, FederationConfig, FederationState, RoutePolicy};
+use ecosched_select::Amp;
+use ecosched_sim::{IntRange, JobGenConfig, SlotGenConfig};
+use std::hint::black_box;
+
+/// A fixed total market of ~135 slots per cycle split evenly over the
+/// shard count, with a Poisson stream busy enough to fragment it.
+fn fed_config(shards: u32) -> FederationConfig {
+    let split = i64::from(shards);
+    let base = EngineConfig {
+        slot_gen: SlotGenConfig {
+            slot_count: IntRange::new((120 / split).max(1), (150 / split).max(1)),
+            ..SlotGenConfig::default()
+        },
+        arrivals: ArrivalConfig::Poisson {
+            mean_interarrival: 5.0,
+            jobs: 96,
+            job_gen: JobGenConfig::default(),
+        },
+        cycles: 12,
+        ..EngineConfig::default()
+    };
+    FederationConfig {
+        route: RoutePolicy::CheapestProbe,
+        ..FederationConfig::new(base, shards)
+    }
+}
+
+/// Drives the federation to the middle of its run so the markets carry
+/// mid-run fragmentation, and returns the live state.
+fn mid_run(fed: &Federation<Amp>, seed: u64) -> FederationState {
+    let mut state = fed.start(seed);
+    for _ in 0..600 {
+        if fed
+            .step(&mut state)
+            .expect("seeded run must not fail")
+            .is_none()
+        {
+            break;
+        }
+    }
+    state
+}
+
+fn bench_probe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("federation_route");
+    let request = ResourceRequest::new(3, TimeDelta::new(100), Perf::UNIT, Price::from_credits(8))
+        .expect("static request is valid");
+    for shards in [1u32, 4, 16] {
+        let fed = Federation::new(fed_config(shards), Amp::new()).expect("config is valid");
+        let state = mid_run(&fed, 42);
+        let at = TimePoint::new(state.last_time().ticks().max(0));
+        group.bench_with_input(BenchmarkId::new("probe", shards), &shards, |b, _| {
+            b.iter(|| black_box(fed.probe_cheapest(black_box(&state), &request, at)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_probe);
+criterion_main!(benches);

@@ -36,11 +36,11 @@
 use std::collections::BTreeMap;
 
 use ecosched_core::{
-    Batch, Job, JobId, Lease, NodeId, ResourceRequest, Slot, SlotList, Span, TimeDelta, TimePoint,
-    Window,
+    Batch, Job, JobId, Lease, NodeId, ResourceRequest, Revocation, Slot, SlotList, Span, TimeDelta,
+    TimePoint, Window,
 };
 use ecosched_optimize::IncrementalOptimizer;
-use ecosched_select::{repair_search, try_adopt_window, ScanStats, SlotSelector};
+use ecosched_select::{repair_search, try_adopt_window, RepairError, ScanStats, SlotSelector};
 use ecosched_sim::swf::batch_from_swf;
 use ecosched_sim::{
     run_iteration_cached_with, run_iteration_with, ConfigError, IterationError, JobGenerator,
@@ -143,6 +143,73 @@ struct PendingJob {
     request: ResourceRequest,
 }
 
+/// Errors from the two-phase reservation protocol (see
+/// [`Engine::reserve`]).
+#[derive(Debug)]
+pub enum ReserveError {
+    /// The window no longer fits the vacant market (another reservation,
+    /// lease, or revocation consumed part of its regions).
+    Stale(RepairError),
+    /// No reservation with this id is held.
+    Unknown {
+        /// The offending reservation id.
+        reservation: u64,
+    },
+    /// The reservation was struck by a revocation between reserve and
+    /// commit. Its surviving fragments already returned to the vacant
+    /// list; the caller must release every sibling reservation.
+    Broken {
+        /// The broken reservation's id.
+        reservation: u64,
+    },
+}
+
+impl std::fmt::Display for ReserveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReserveError::Stale(e) => write!(f, "window no longer fits the vacant market: {e}"),
+            ReserveError::Unknown { reservation } => {
+                write!(f, "no reservation {reservation} is held")
+            }
+            ReserveError::Broken { reservation } => {
+                write!(f, "reservation {reservation} was revoked before commit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReserveError {}
+
+/// A window held under phase one of the two-phase reservation protocol:
+/// carved out of the vacant market but not yet committed as a lease.
+///
+/// Reservations are deliberately *transient* state: they exist only
+/// between a [`Engine::reserve`] and the matching
+/// [`Engine::commit_reservation`] / [`Engine::release_reservation`], and
+/// a checkpoint must never be taken while one is held (the federation
+/// layer completes or aborts the whole two-phase exchange within a
+/// single routing action, so its snapshots never see one).
+#[derive(Debug, Clone)]
+pub struct Reservation {
+    window: Window,
+    broken: bool,
+}
+
+impl Reservation {
+    /// The reserved window.
+    #[must_use]
+    pub fn window(&self) -> &Window {
+        &self.window
+    }
+
+    /// Whether a revocation strike landed on the reserved regions after
+    /// phase one. A broken reservation can only be released.
+    #[must_use]
+    pub fn is_broken(&self) -> bool {
+        self.broken
+    }
+}
+
 /// A committed lease with everything repair and completion need.
 #[derive(Debug, Clone)]
 struct ActiveLease {
@@ -178,6 +245,12 @@ pub struct RunState {
     pending: Vec<PendingJob>,
     leases: BTreeMap<u64, ActiveLease>,
     next_lease: u64,
+    // Two-phase reservations in flight. Transient by contract: held only
+    // inside one federation routing action, empty whenever a checkpoint
+    // is taken, and therefore deliberately absent from EngineCheckpoint.
+    reservations: BTreeMap<u64, Reservation>,
+    next_reservation: u64,
+    reservations_broken: u64,
     // One optimizer for the whole run: cycle N+1 reuses the dynamic
     // programming rows cycle N left behind wherever the batch suffix
     // is unchanged. With `optimizer_cache` off every tick solves from
@@ -286,6 +359,42 @@ impl RunState {
     pub fn report_so_far(&self) -> &EngineReport {
         &self.report
     }
+
+    /// The `(time, seq)` key of the next queued event, if any — what the
+    /// federation's merge loop compares across shards to pop the
+    /// globally earliest event under `(time, seq, shard)` order.
+    #[must_use]
+    pub fn next_event_key(&self) -> Option<(i64, u64)> {
+        self.queue.peek().map(|(t, seq)| (t.ticks(), seq))
+    }
+
+    /// The sequence number the next queued event will receive — what a
+    /// submitted arrival would be keyed with if injected right now.
+    #[must_use]
+    pub fn next_event_seq(&self) -> u64 {
+        self.queue.next_seq()
+    }
+
+    /// Two-phase reservations currently held (phase one done, neither
+    /// committed nor released). Must be zero whenever a checkpoint is
+    /// taken.
+    #[must_use]
+    pub fn reservations_held(&self) -> usize {
+        self.reservations.len()
+    }
+
+    /// Looks up a held reservation by id.
+    #[must_use]
+    pub fn reservation(&self, id: u64) -> Option<&Reservation> {
+        self.reservations.get(&id)
+    }
+
+    /// Reservations broken by revocation strikes over the whole run
+    /// (transient diagnostics; not part of the checkpointed report).
+    #[must_use]
+    pub fn reservations_broken(&self) -> u64 {
+        self.reservations_broken
+    }
 }
 
 /// The discrete-event metascheduling engine.
@@ -352,7 +461,7 @@ impl<S: SlotSelector + Copy> Engine<S> {
         let mut queue = EventQueue::new();
 
         // -- setup: arrivals, then the cycle skeleton -------------------
-        let arrivals = self.arrivals(&mut rng);
+        let arrivals = self.generate_arrivals(&mut rng);
         for (i, (t, _)) in arrivals.iter().enumerate() {
             queue.push(*t, Event::JobArrival { job: i as u32 });
         }
@@ -384,6 +493,9 @@ impl<S: SlotSelector + Copy> Engine<S> {
             pending: Vec::new(),
             leases: BTreeMap::new(),
             next_lease: 0,
+            reservations: BTreeMap::new(),
+            next_reservation: 0,
+            reservations_broken: 0,
             optimizer: IncrementalOptimizer::new(),
             report: EngineReport {
                 vo_spend: vec![0.0; self.config.vos as usize],
@@ -452,6 +564,10 @@ impl<S: SlotSelector + Copy> Engine<S> {
     /// on — otherwise `None` marks a deliberately cold cache.
     #[must_use]
     pub fn checkpoint(&self, state: &RunState) -> EngineCheckpoint {
+        debug_assert!(
+            state.reservations.is_empty(),
+            "checkpoints must not be taken mid two-phase reservation"
+        );
         let rng = state.rng.capture();
         let (queue_next_seq, entries) = state.queue.snapshot();
         EngineCheckpoint {
@@ -603,6 +719,11 @@ impl<S: SlotSelector + Copy> Engine<S> {
                 })
                 .collect(),
             next_lease: checkpoint.next_lease,
+            // Reservations are transient two-phase state: checkpoints are
+            // only taken with none held, so restore starts empty.
+            reservations: BTreeMap::new(),
+            next_reservation: 0,
+            reservations_broken: 0,
             optimizer: match &checkpoint.optimizer {
                 Some(snapshot) => IncrementalOptimizer::from_snapshot(snapshot),
                 None => IncrementalOptimizer::new(),
@@ -638,6 +759,109 @@ impl<S: SlotSelector + Copy> Engine<S> {
         state.arrivals.push((time, request));
         state.queue.push(time, Event::JobArrival { job });
         (job, time)
+    }
+
+    /// Phase one of the two-phase cross-shard protocol: revalidates
+    /// `window` against the live vacant market and, on success, carves
+    /// its regions out and holds them under a reservation id. The
+    /// regions are invisible to single-shard scheduling until the
+    /// reservation is committed or released — but *not* to revocation
+    /// strikes, which sample the full live surface (vacant, leased, and
+    /// reserved capacity alike).
+    ///
+    /// # Errors
+    ///
+    /// [`ReserveError::Stale`] when the window no longer fits; the
+    /// vacant list is untouched in that case.
+    pub fn reserve(&self, state: &mut RunState, window: &Window) -> Result<u64, ReserveError> {
+        try_adopt_window(window, &mut state.vacant, &[]).map_err(ReserveError::Stale)?;
+        let id = state.next_reservation;
+        state.next_reservation += 1;
+        state.reservations.insert(
+            id,
+            Reservation {
+                window: window.clone(),
+                broken: false,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Phase two, success path: turns a held reservation into an active
+    /// lease executing `request` (arrived at `arrival`), schedules its
+    /// completion, and books the job into the shard's report. Returns
+    /// `(job id, lease id)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ReserveError::Unknown`] for an id that is not held;
+    /// [`ReserveError::Broken`] when a revocation struck the reserved
+    /// regions after phase one — the reservation is dropped (its
+    /// surviving fragments already returned to the vacant list when the
+    /// strike landed) and the caller must release all of its siblings.
+    pub fn commit_reservation(
+        &self,
+        state: &mut RunState,
+        reservation: u64,
+        request: ResourceRequest,
+        arrival: TimePoint,
+    ) -> Result<(u32, u64), ReserveError> {
+        match state.reservations.get(&reservation) {
+            None => return Err(ReserveError::Unknown { reservation }),
+            Some(r) if r.broken => {
+                state.reservations.remove(&reservation);
+                return Err(ReserveError::Broken { reservation });
+            }
+            Some(_) => {}
+        }
+        let held = state
+            .reservations
+            .remove(&reservation)
+            .expect("presence checked above");
+        let job = state.arrivals.len() as u32;
+        state.arrivals.push((arrival, request));
+        state.report.jobs_arrived += 1;
+        state.report.jobs_scheduled += 1;
+        let vo = job % self.config.vos;
+        state.report.vo_spend[vo as usize] += held.window.total_cost().to_f64();
+        let lease = state.next_lease;
+        self.commit_lease(
+            &mut state.queue,
+            &mut state.leases,
+            &mut state.next_lease,
+            ActiveLeaseSeed {
+                job,
+                arrival,
+                vo,
+                request,
+                window: held.window,
+                alternatives: Vec::new(),
+            },
+        );
+        Ok((job, lease))
+    }
+
+    /// Phase two, abort path: drops a held reservation and returns its
+    /// regions to the vacant market. Releasing a *broken* reservation
+    /// only drops it — the strike that broke it already returned the
+    /// surviving fragments.
+    ///
+    /// # Errors
+    ///
+    /// [`ReserveError::Unknown`] for an id that is not held.
+    pub fn release_reservation(
+        &self,
+        state: &mut RunState,
+        reservation: u64,
+    ) -> Result<(), ReserveError> {
+        let held = state
+            .reservations
+            .remove(&reservation)
+            .ok_or(ReserveError::Unknown { reservation })?;
+        if !held.broken {
+            release_window(&mut state.vacant, &held.window);
+        }
+        Ok(())
     }
 
     /// Runs one event's handler. Every state change of the run happens
@@ -836,18 +1060,33 @@ impl<S: SlotSelector + Copy> Engine<S> {
             }
 
             Event::RevocationStrike { .. } => {
-                // Sample against the live surface: vacant slots plus
-                // active lease regions, so strikes can land on windows
-                // carved by earlier repairs.
+                // Sample against the live surface: vacant slots, active
+                // lease regions (so strikes can land on windows carved by
+                // earlier repairs), and reserved-but-uncommitted windows
+                // (so strikes can land *between* the two phases of a
+                // cross-shard reservation). With no reservations held —
+                // every non-federated run — the surface and therefore
+                // the draw sequence is unchanged.
                 let lease_views: Vec<Lease> = state
                     .leases
                     .values()
                     .map(|al| Lease::planned(JobId::new(al.job), al.window.clone()))
                     .collect();
+                let reservation_views: Vec<(u64, Lease)> = state
+                    .reservations
+                    .iter()
+                    .filter(|(_, r)| !r.broken)
+                    .map(|(id, r)| (*id, Lease::planned(JobId::new(u32::MAX), r.window.clone())))
+                    .collect();
+                let surface: Vec<Lease> = lease_views
+                    .iter()
+                    .chain(reservation_views.iter().map(|(_, view)| view))
+                    .cloned()
+                    .collect();
                 let revocations =
                     state
                         .revocation
-                        .draw_live(&state.vacant, &lease_views, &mut state.rng);
+                        .draw_live(&state.vacant, &surface, &mut state.rng);
                 state.report.revocations += revocations.len() as u64;
                 if revocations.is_empty() {
                     return Ok(());
@@ -869,34 +1108,26 @@ impl<S: SlotSelector + Copy> Engine<S> {
                 // fragments first, so later repairs can reuse the time.
                 for id in &broken {
                     let al = &state.leases[id];
-                    for ws in al.window.slots() {
-                        let mut fragments = vec![al.window.used_span(ws)];
-                        for r in revocations.iter().filter(|r| r.node == ws.node()) {
-                            let mut survivors = Vec::new();
-                            for frag in fragments {
-                                let (left, right) = frag.subtract(r.span);
-                                survivors.extend(left);
-                                survivors.extend(right);
-                            }
-                            fragments = survivors;
-                        }
-                        for frag in fragments {
-                            if frag.end() <= now {
-                                continue; // already elapsed
-                            }
-                            let span = Span::new(frag.start().max(now), frag.end())
-                                .expect("clipped fragments are non-empty");
-                            let slot_id = state.vacant.mint_id();
-                            let slot = Slot::new(slot_id, ws.node(), ws.perf(), ws.price(), span)
-                                .expect("surviving fragments are non-empty");
-                            state
-                                .vacant
-                                .insert(slot)
-                                .expect("lease regions were held exclusively");
-                        }
-                    }
+                    return_surviving_fragments(&mut state.vacant, &al.window, &revocations, now);
                 }
                 state.report.leases_broken += broken.len() as u64;
+
+                // Struck reservations break the same way, but there is
+                // no repair tier for them: the federation observes the
+                // break at commit time and releases the siblings.
+                for (id, view) in &reservation_views {
+                    if !revocations.iter().any(|r| view.broken_by(r)) {
+                        continue;
+                    }
+                    let held = state
+                        .reservations
+                        .get_mut(id)
+                        .expect("reservation views mirror held reservations");
+                    held.broken = true;
+                    state.reservations_broken += 1;
+                    let window = held.window.clone();
+                    return_surviving_fragments(&mut state.vacant, &window, &revocations, now);
+                }
 
                 // Three-tier recovery, in lease-id (commitment) order.
                 for id in broken {
@@ -1083,8 +1314,16 @@ impl<S: SlotSelector + Copy> Engine<S> {
         );
     }
 
-    /// Precomputes the `(arrival time, request)` stream.
-    fn arrivals(&self, rng: &mut ChaCha8Rng) -> Vec<(TimePoint, ResourceRequest)> {
+    /// Precomputes the `(arrival time, request)` stream this engine's
+    /// configuration describes, drawing from `rng` exactly as
+    /// [`Engine::start`] does before it draws anything else.
+    ///
+    /// Public so the federation layer can generate the *offered load*
+    /// once at the superscheduler level (from the base configuration and
+    /// seed) and then route each arrival to an `External`-mode shard —
+    /// keeping the stream identical to what a single engine at the same
+    /// seed would have faced, whatever the shard count.
+    pub fn generate_arrivals(&self, rng: &mut ChaCha8Rng) -> Vec<(TimePoint, ResourceRequest)> {
         match &self.config.arrivals {
             ArrivalConfig::Poisson {
                 mean_interarrival,
@@ -1170,6 +1409,42 @@ fn clip_to_now(vacant: &SlotList, now: TimePoint) -> SlotList {
     }
     clipped.sort_by_key(|s| (s.start(), s.id()));
     SlotList::from_sorted_slots(clipped).expect("clipping preserves disjointness and unique ids")
+}
+
+/// Returns the surviving fragments of a revoked window — everything the
+/// strikes did not consume and that has not yet elapsed — to the vacant
+/// list as freshly minted slots.
+fn return_surviving_fragments(
+    vacant: &mut SlotList,
+    window: &Window,
+    revocations: &[Revocation],
+    now: TimePoint,
+) {
+    for ws in window.slots() {
+        let mut fragments = vec![window.used_span(ws)];
+        for r in revocations.iter().filter(|r| r.node == ws.node()) {
+            let mut survivors = Vec::new();
+            for frag in fragments {
+                let (left, right) = frag.subtract(r.span);
+                survivors.extend(left);
+                survivors.extend(right);
+            }
+            fragments = survivors;
+        }
+        for frag in fragments {
+            if frag.end() <= now {
+                continue; // already elapsed
+            }
+            let span = Span::new(frag.start().max(now), frag.end())
+                .expect("clipped fragments are non-empty");
+            let slot_id = vacant.mint_id();
+            let slot = Slot::new(slot_id, ws.node(), ws.perf(), ws.price(), span)
+                .expect("surviving fragments are non-empty");
+            vacant
+                .insert(slot)
+                .expect("revoked regions were held exclusively");
+        }
+    }
 }
 
 /// Returns a window's regions to `list` as freshly minted slots.
@@ -1416,5 +1691,147 @@ mod tests {
         // Same arrivals either way; coalescing only changes the market's
         // granularity.
         assert_eq!(run_on.report.jobs_arrived, run_off.report.jobs_arrived);
+    }
+
+    // -- two-phase reservations --------------------------------------
+
+    use ecosched_core::{Perf, Price};
+
+    /// Steps until the market is populated, then probes a one-node
+    /// window launchable at the current time.
+    fn probed_window<S: SlotSelector + Copy>(
+        engine: &Engine<S>,
+        state: &mut RunState,
+    ) -> (ResourceRequest, Window) {
+        while state.vacant.is_empty() {
+            engine
+                .step(state)
+                .unwrap()
+                .expect("run drained before any publication");
+        }
+        let request = ResourceRequest::new(
+            1,
+            TimeDelta::new(20),
+            Perf::from_f64(0.5),
+            Price::from_credits(60),
+        )
+        .unwrap();
+        let mut scan = ScanStats::new();
+        let window = repair_search(
+            &Amp::new(),
+            &request,
+            state.last_time(),
+            &state.vacant,
+            &mut scan,
+        )
+        .expect("a fresh market hosts a one-node window");
+        (request, window)
+    }
+
+    /// Total vacant node-ticks — the capacity invariant reserve/release
+    /// must conserve.
+    fn vacant_ticks(state: &RunState) -> i64 {
+        state.vacant.iter().map(|s| s.span().length().ticks()).sum()
+    }
+
+    #[test]
+    fn reserve_commit_books_a_lease_that_completes() {
+        let engine = Engine::new(small_config(), Amp::new()).unwrap();
+        let mut state = engine.start(5);
+        let (request, window) = probed_window(&engine, &mut state);
+        let id = engine.reserve(&mut state, &window).unwrap();
+        assert_eq!(state.reservations_held(), 1);
+        assert!(!state.reservation(id).unwrap().is_broken());
+
+        let arrived = state.report.jobs_arrived;
+        let leases = state.leases.len();
+        let at = state.last_time();
+        let (job, lease) = engine
+            .commit_reservation(&mut state, id, request, at)
+            .unwrap();
+        assert_eq!(state.reservations_held(), 0);
+        assert_eq!(state.leases.len(), leases + 1);
+        assert!(state.leases.contains_key(&lease));
+        assert_eq!(state.leases[&lease].job, job);
+        assert_eq!(state.report.jobs_arrived, arrived + 1);
+
+        while engine.step(&mut state).unwrap().is_some() {}
+        let run = engine.finish(state);
+        assert!(run.report.jobs_completed >= 1, "the lease never completed");
+    }
+
+    #[test]
+    fn release_conserves_market_capacity() {
+        let engine = Engine::new(small_config(), Amp::new()).unwrap();
+        let mut state = engine.start(5);
+        let (_, window) = probed_window(&engine, &mut state);
+        let before = vacant_ticks(&state);
+        let id = engine.reserve(&mut state, &window).unwrap();
+        assert!(vacant_ticks(&state) < before, "reserve must carve capacity");
+        engine.release_reservation(&mut state, id).unwrap();
+        assert_eq!(vacant_ticks(&state), before, "release must restore it");
+        assert_eq!(state.reservations_held(), 0);
+        assert!(matches!(
+            engine.release_reservation(&mut state, id),
+            Err(ReserveError::Unknown { .. })
+        ));
+    }
+
+    #[test]
+    fn stale_windows_are_refused_without_side_effects() {
+        let engine = Engine::new(small_config(), Amp::new()).unwrap();
+        let mut state = engine.start(5);
+        let (_, window) = probed_window(&engine, &mut state);
+        engine.reserve(&mut state, &window).unwrap();
+        let held = vacant_ticks(&state);
+        // The same window cannot be carved twice.
+        assert!(matches!(
+            engine.reserve(&mut state, &window),
+            Err(ReserveError::Stale(_))
+        ));
+        assert_eq!(vacant_ticks(&state), held);
+        assert_eq!(state.reservations_held(), 1);
+    }
+
+    #[test]
+    fn strike_between_reserve_and_commit_breaks_the_reservation() {
+        let engine = Engine::new(
+            EngineConfig {
+                cycles: 2,
+                revocation: RevocationConfig::per_slot(1.0),
+                arrivals: ArrivalConfig::Poisson {
+                    mean_interarrival: 10.0,
+                    jobs: 1,
+                    job_gen: ecosched_sim::JobGenConfig::default(),
+                },
+                ..EngineConfig::default()
+            },
+            Amp::new(),
+        )
+        .unwrap();
+        let mut state = engine.start(9);
+        let (request, window) = probed_window(&engine, &mut state);
+        let id = engine.reserve(&mut state, &window).unwrap();
+
+        // Step across the mid-cycle strike; per-slot probability 1.0
+        // revokes the entire live surface, the reservation included.
+        while state.reservations_broken() == 0 {
+            engine
+                .step(&mut state)
+                .unwrap()
+                .expect("strike never fired");
+        }
+        assert!(state.reservation(id).unwrap().is_broken());
+
+        // Phase two must refuse; the reservation is consumed either way.
+        let at = state.last_time();
+        assert!(matches!(
+            engine.commit_reservation(&mut state, id, request, at),
+            Err(ReserveError::Broken { .. })
+        ));
+        assert_eq!(state.reservations_held(), 0);
+
+        // The run continues to completion untroubled.
+        while engine.step(&mut state).unwrap().is_some() {}
     }
 }

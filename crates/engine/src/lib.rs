@@ -27,8 +27,8 @@ pub mod report;
 pub mod state;
 
 pub use config::{ArrivalConfig, EngineConfig};
-pub use engine::{Engine, EngineError, EngineRun, RunState};
-pub use event::{Event, EventLog, LogEntry};
+pub use engine::{Engine, EngineError, EngineRun, Reservation, ReserveError, RunState};
+pub use event::{fnv1a_64, Event, EventLog, LogEntry};
 pub use queue::EventQueue;
 pub use report::{CyclePoint, EngineReport};
 pub use state::{

@@ -88,6 +88,14 @@ impl EventQueue {
         self.heap.peek().map(|std::cmp::Reverse(q)| (q.time, q.seq))
     }
 
+    /// The sequence number the next [`Self::push`] will assign. The
+    /// federation's submit path uses this to predict where an injected
+    /// arrival will land in the merged `(time, seq, shard)` order.
+    #[must_use]
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
     /// The queue's resumable state: the next sequence number plus every
     /// queued event in pop order. Non-destructive (works on a clone of the
     /// heap).

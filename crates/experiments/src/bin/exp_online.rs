@@ -3,7 +3,16 @@
 //! batch-cycle baseline.
 //!
 //! Usage: `exp_online [--seed S] [--cycles C] [--jobs J] [--churn P]
-//! [--mean-gap G] [--threads N] [--no-coalesce] [--smoke] [--saturate]`.
+//! [--mean-gap G] [--threads N] [--no-coalesce] [--smoke] [--saturate]
+//! [--trace FILE.swf [--trace-scale SECS_PER_TICK]]`.
+//!
+//! `--trace FILE.swf` replays a Standard Workload Format trace (E16)
+//! instead of the synthetic grid: each record's submission time,
+//! processor count, and requested runtime drive external submissions
+//! into the engine, once per selector (ALP and AMP), with the replay
+//! table and per-selector `event_log_hash` lines printed for CI to
+//! diff. `--trace-scale` maps trace seconds to engine ticks (default 1
+//! second per tick).
 //!
 //! `--saturate` runs the E15 saturation sweep instead of the grid: the
 //! calm scenario at a descending ladder of mean inter-arrival gaps, the
@@ -53,6 +62,7 @@ use ecosched_experiments::online::{
     batch_table, engine_config, online_table, run_batch_baseline, run_online, run_saturation,
     saturation_table, OnlineConfig, SATURATION_GAPS,
 };
+use ecosched_experiments::trace::{parse_swf, run_trace, trace_config, trace_table};
 use ecosched_persist::{decode_snapshot, resume_from, write_snapshot};
 use ecosched_select::{Alp, Amp, SlotSelector};
 
@@ -184,6 +194,46 @@ fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let single = std::env::args().any(|a| a == "--single");
     let saturate = std::env::args().any(|a| a == "--saturate");
+
+    if let Some(trace_file) = arg_value::<String>("--trace") {
+        let scale: f64 = arg_value("--trace-scale").unwrap_or(1.0);
+        let text = match std::fs::read_to_string(&trace_file) {
+            Ok(text) => text,
+            Err(e) => fail(format!("reading {trace_file}: {e}")),
+        };
+        let jobs = match parse_swf(&text, scale) {
+            Ok(jobs) => jobs,
+            Err(e) => fail(format!("{trace_file}: {e}")),
+        };
+        if jobs.is_empty() {
+            fail(format!("{trace_file}: no usable jobs"));
+        }
+        let engine_cfg = trace_config(&jobs);
+        eprintln!(
+            "replaying {} trace jobs over {} cycles (seed {})…",
+            jobs.len(),
+            engine_cfg.cycles,
+            config.seed
+        );
+        let alp = Engine::new(engine_cfg.clone(), Alp::new()).expect("valid config");
+        let amp = Engine::new(engine_cfg, Amp::new()).expect("valid config");
+        let alp_run = run_trace(&alp, config.seed, &jobs).unwrap_or_else(|e| fail(e));
+        let amp_run = run_trace(&amp, config.seed, &jobs).unwrap_or_else(|e| fail(e));
+        println!("E16 — SWF trace replay ({trace_file})\n");
+        println!(
+            "{}",
+            trace_table(&[("ALP", &alp_run), ("AMP", &amp_run)]).render()
+        );
+        println!(
+            "event_log_hash trace algo=ALP hash={}",
+            alp_run.report.log_hash
+        );
+        println!(
+            "event_log_hash trace algo=AMP hash={}",
+            amp_run.report.log_hash
+        );
+        return;
+    }
 
     if saturate {
         eprintln!(

@@ -20,6 +20,8 @@
 //! | E13 — flexibility claim, quantified | [`flexibility`] | `exp_flexibility` |
 //! | E14 — ALP vs AMP under slot revocation | [`churn`] | `exp_churn` |
 //! | E15 — online load on the discrete-event engine | [`online`] | `exp_online` |
+//! | E16 — SWF workload-trace replay | [`trace`] | `exp_online --trace` |
+//! | E18 — sharded federation sweep | [`federation`] | `exp_federation` |
 //!
 //! # Example
 //!
@@ -47,6 +49,7 @@
 pub mod ablation;
 pub mod churn;
 pub mod extensions;
+pub mod federation;
 pub mod figures;
 pub mod flexibility;
 pub mod gantt;
@@ -56,6 +59,7 @@ pub mod report;
 pub mod rho_sweep;
 pub mod runner;
 pub mod scaling;
+pub mod trace;
 
 pub use runner::{run_paired, run_seed, ExperimentConfig, PairedOutcome};
 

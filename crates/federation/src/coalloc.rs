@@ -1,0 +1,88 @@
+//! Cross-shard co-allocation types: the split of a coscheduled job across
+//! shards and the typed lease the two-phase protocol surfaces on success.
+
+use ecosched_core::Window;
+use serde::{Deserialize, Serialize};
+
+/// One shard's share of a cross-shard placement after commit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossShardPart {
+    /// The shard hosting this part.
+    pub shard: u32,
+    /// The shard-local job id minted at commit.
+    pub job: u32,
+    /// The shard-local lease id minted at commit.
+    pub lease: u64,
+    /// The committed window. All parts of one cross-shard placement start
+    /// at the same tick — that is what the alignment loop establishes
+    /// before phase two runs.
+    pub window: Window,
+}
+
+/// A committed cross-shard placement: one federation job served by
+/// synchronized-start windows on two or more shards.
+///
+/// This is the typed surface of the two-phase protocol — it exists only
+/// if every shard's reserve and commit succeeded; any failure released
+/// all sibling reservations instead.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossShardWindow {
+    /// The federation-level job id (arrival order at the superscheduler).
+    pub fed_job: u64,
+    /// The synchronized launch tick: the latest part start. At alignment
+    /// tolerance zero every part starts exactly here; with slack,
+    /// earlier parts hold their windows until this tick.
+    pub start: i64,
+    /// The per-shard parts, in shard order.
+    pub parts: Vec<CrossShardPart>,
+}
+
+/// A phase-one hold: a window reserved on a shard, not yet committed or
+/// released.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReservedPart {
+    /// The shard holding the reservation.
+    pub shard: u32,
+    /// The shard-local reservation id.
+    pub reservation: u64,
+    /// The reserved window.
+    pub window: Window,
+}
+
+/// Splits `nodes` across at most `shards` shards as evenly as possible,
+/// larger shares first: `split_nodes(7, 3)` is `[3, 2, 2]`, and
+/// `split_nodes(2, 4)` is `[2]`-free — `[1, 1]`, dropping empty shares.
+#[must_use]
+pub fn split_nodes(nodes: usize, shards: u32) -> Vec<usize> {
+    let shards = (shards as usize).min(nodes).max(1);
+    let base = nodes / shards;
+    let extra = nodes % shards;
+    (0..shards)
+        .map(|s| if s < extra { base + 1 } else { base })
+        .filter(|&n| n > 0)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_are_even_and_complete() {
+        assert_eq!(split_nodes(7, 3), vec![3, 2, 2]);
+        assert_eq!(split_nodes(8, 4), vec![2, 2, 2, 2]);
+        assert_eq!(split_nodes(2, 4), vec![1, 1]);
+        assert_eq!(split_nodes(1, 4), vec![1]);
+        assert_eq!(split_nodes(5, 1), vec![5]);
+        for nodes in 1..40usize {
+            for shards in 1..9u32 {
+                let split = split_nodes(nodes, shards);
+                assert_eq!(split.iter().sum::<usize>(), nodes);
+                assert!(split.len() <= shards as usize);
+                let lo = split.iter().min().copied().unwrap_or(0);
+                let hi = split.iter().max().copied().unwrap_or(0);
+                assert!(hi - lo <= 1, "uneven split {split:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,1064 @@
+//! The superscheduler: S shard engines behind one submission surface,
+//! with pluggable routing, two-phase cross-shard co-allocation, and a
+//! deterministic merged event log.
+//!
+//! # Determinism under sharding
+//!
+//! Each shard is the unmodified single engine — a pure function of
+//! `(config, seed, routed-arrival sequence)`. The federation adds no
+//! randomness of its own: the offered stream is generated once from the
+//! federation seed with the base engine's own generator, and every
+//! routing decision reads only shard state that is itself deterministic.
+//!
+//! The merge loop maintains one invariant: **route before step**. An
+//! arrival at time `t` is routed before any shard processes an event at
+//! time ≥ `t` (ties go to the router). Under that invariant every event
+//! the loop pops is the global minimum of the remaining events under
+//! `(time, seq, shard)`, every push lands at a key strictly above
+//! everything already popped, and therefore the live merged log equals
+//! the sorted union of the final shard logs — which [`finish`] asserts
+//! by recomputing the union with [`merge_shard_logs`].
+//!
+//! [`finish`]: Federation::finish
+
+use ecosched_core::{Money, ResourceRequest, TimePoint, Window};
+use ecosched_engine::{
+    fnv1a_64, ArrivalState, Engine, EngineCheckpoint, EngineError, EngineRun, EventLog,
+    ReserveError, RunState,
+};
+use ecosched_select::{repair_search, ScanStats, SlotSelector};
+use ecosched_sim::ConfigError;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::coalloc::{split_nodes, CrossShardPart, CrossShardWindow, ReservedPart};
+use crate::config::{FederationConfig, RoutePolicy};
+use crate::merge::{merge_shard_logs, FederatedLogEntry, FederationLog};
+use crate::report::{FederationReport, RouteCounters};
+
+/// Errors from a federated run.
+#[derive(Debug)]
+pub enum FederationError {
+    /// A shard engine failed.
+    Engine {
+        /// The failing shard.
+        shard: u32,
+        /// The underlying engine error.
+        source: EngineError,
+    },
+    /// A two-phase reservation call failed unexpectedly.
+    Reserve {
+        /// The failing shard.
+        shard: u32,
+        /// The underlying reservation error.
+        source: ReserveError,
+    },
+    /// Phase two found a sibling reservation broken; every reservation of
+    /// the placement was released.
+    TwoPhaseAborted {
+        /// The federation job whose placement was abandoned.
+        fed_job: u64,
+    },
+    /// The two-phase protocol was driven with inconsistent arguments.
+    Protocol {
+        /// What was inconsistent.
+        detail: &'static str,
+    },
+    /// A checkpoint was taken under a different `(config, selector)`
+    /// fingerprint.
+    CheckpointMismatch {
+        /// The fingerprint of this federation.
+        expected: u64,
+        /// The fingerprint in the checkpoint.
+        found: u64,
+    },
+}
+
+impl std::fmt::Display for FederationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FederationError::Engine { shard, source } => {
+                write!(f, "shard {shard}: {source}")
+            }
+            FederationError::Reserve { shard, source } => {
+                write!(f, "shard {shard} reservation: {source}")
+            }
+            FederationError::TwoPhaseAborted { fed_job } => {
+                write!(
+                    f,
+                    "cross-shard placement of federation job {fed_job} aborted: \
+                     a sibling reservation broke before commit"
+                )
+            }
+            FederationError::Protocol { detail } => {
+                write!(f, "two-phase protocol misuse: {detail}")
+            }
+            FederationError::CheckpointMismatch { expected, found } => {
+                write!(
+                    f,
+                    "checkpoint fingerprint {found:#018x} does not match this \
+                     federation's {expected:#018x}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FederationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FederationError::Engine { source, .. } => Some(source),
+            FederationError::Reserve { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Where a submission landed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Placement {
+    /// The whole job went to one shard.
+    Single {
+        /// The hosting shard.
+        shard: u32,
+        /// The shard-local job id.
+        job: u32,
+        /// The (possibly clamped) arrival time the shard recorded.
+        time: TimePoint,
+    },
+    /// The job was split across shards by two-phase co-allocation.
+    Cross(CrossShardWindow),
+}
+
+/// The resumable state of a federated run: the shard run states plus the
+/// superscheduler's own stream cursor, router state, merged log, and
+/// committed cross-shard placements.
+#[derive(Debug)]
+pub struct FederationState {
+    seed: u64,
+    shards: Vec<RunState>,
+    /// The federation-level offered stream (empty for S=1, where shard 0
+    /// drives its own arrivals, and for external-only service runs).
+    arrivals: Vec<(TimePoint, ResourceRequest)>,
+    next_arrival: usize,
+    next_fed_job: u64,
+    rr_cursor: u64,
+    merged: FederationLog,
+    cross_shard: Vec<CrossShardWindow>,
+    counters: RouteCounters,
+}
+
+impl FederationState {
+    /// The federation seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// One shard's run state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    #[must_use]
+    pub fn shard(&self, shard: usize) -> &RunState {
+        &self.shards[shard]
+    }
+
+    /// Mutable access to one shard's run state — the surface the
+    /// two-phase tests and the service layer drive shard-level
+    /// operations through.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    #[must_use]
+    pub fn shard_mut(&mut self, shard: usize) -> &mut RunState {
+        &mut self.shards[shard]
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The merged log so far.
+    #[must_use]
+    pub fn merged(&self) -> &FederationLog {
+        &self.merged
+    }
+
+    /// Cross-shard placements committed so far.
+    #[must_use]
+    pub fn cross_shard(&self) -> &[CrossShardWindow] {
+        &self.cross_shard
+    }
+
+    /// Router counters so far.
+    #[must_use]
+    pub fn counters(&self) -> &RouteCounters {
+        &self.counters
+    }
+
+    /// Federation jobs accepted so far (stream arrivals routed plus
+    /// external submissions).
+    #[must_use]
+    pub fn jobs_offered(&self) -> u64 {
+        self.next_fed_job
+    }
+
+    /// Total backlog (pending plus leased) across shards.
+    #[must_use]
+    pub fn backlog(&self) -> usize {
+        self.shards.iter().map(RunState::backlog).sum()
+    }
+
+    /// The latest virtual time any shard has reached.
+    #[must_use]
+    pub fn last_time(&self) -> TimePoint {
+        self.shards
+            .iter()
+            .map(RunState::last_time)
+            .max()
+            .unwrap_or(TimePoint::ZERO)
+    }
+
+    /// The `(time, seq, shard)` key of the globally next shard event, if
+    /// any shard still has one queued.
+    #[must_use]
+    pub fn next_event_key(&self) -> Option<(i64, u64, u32)> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter_map(|(s, st)| st.next_event_key().map(|(t, q)| (t, q, s as u32)))
+            .min()
+    }
+
+    /// Virtual time of the next thing the merge loop would process
+    /// (stream arrival or shard event), if anything remains.
+    #[must_use]
+    pub fn next_time(&self) -> Option<TimePoint> {
+        let arrival = self.arrivals.get(self.next_arrival).map(|(t, _)| *t);
+        let event = self.next_event_key().map(|(t, _, _)| TimePoint::new(t));
+        match (arrival, event) {
+            (Some(a), Some(e)) => Some(a.min(e)),
+            (Some(a), None) => Some(a),
+            (None, e) => e,
+        }
+    }
+}
+
+/// What the merge loop does next.
+enum NextAction {
+    /// Route the next pending stream arrival.
+    Route,
+    /// Step the shard holding the globally earliest event.
+    Step(usize),
+}
+
+/// A fully checkpointed federation: per-shard engine checkpoints plus the
+/// router state, in one serializable container.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FederationCheckpoint {
+    /// The federation seed.
+    pub seed: u64,
+    /// Fingerprint of `(config, selector)`; resume refuses a mismatch.
+    pub config_fp: u64,
+    /// Per-shard engine checkpoints, in shard order.
+    pub shards: Vec<EngineCheckpoint>,
+    /// The federation-level offered stream.
+    pub arrivals: Vec<ArrivalState>,
+    /// Stream arrivals already routed.
+    pub next_arrival: u64,
+    /// Federation jobs accepted so far.
+    pub next_fed_job: u64,
+    /// Round-robin router cursor.
+    pub rr_cursor: u64,
+    /// The merged log so far.
+    pub merged: FederationLog,
+    /// Cross-shard placements committed so far.
+    pub cross_shard: Vec<CrossShardWindow>,
+    /// Router counters so far.
+    pub counters: RouteCounters,
+}
+
+/// The result of a drained federated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FederationRun {
+    /// The aggregate report.
+    pub report: FederationReport,
+    /// The merged, shard-tagged event log.
+    pub merged: FederationLog,
+    /// Every committed cross-shard placement.
+    pub cross_shard: Vec<CrossShardWindow>,
+    /// The per-shard engine runs (each with its own log and report).
+    pub shards: Vec<EngineRun>,
+}
+
+/// The superscheduler: S shard engines, a routing policy, and the merge
+/// loop that interleaves routing with shard stepping deterministically.
+#[derive(Debug, Clone)]
+pub struct Federation<S> {
+    config: FederationConfig,
+    selector: S,
+    /// An engine over the *base* configuration — the arrival-stream
+    /// generator for S>1 (and, for S=1, configured identically to the
+    /// single shard).
+    base: Engine<S>,
+    shards: Vec<Engine<S>>,
+}
+
+impl<S: SlotSelector + Copy> Federation<S> {
+    /// Creates a federation over a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] naming the first invalid field.
+    pub fn new(config: FederationConfig, selector: S) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let base = Engine::new(config.base.clone(), selector)?;
+        let shards = (0..config.shards)
+            .map(|s| Engine::new(config.shard_config(s), selector))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Federation {
+            config,
+            selector,
+            base,
+            shards,
+        })
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &FederationConfig {
+        &self.config
+    }
+
+    /// The engine of one shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    #[must_use]
+    pub fn shard_engine(&self, shard: usize) -> &Engine<S> {
+        &self.shards[shard]
+    }
+
+    /// FNV-1a 64 fingerprint of the federation configuration and selector
+    /// name, with `base.threads` normalized to 1 (worker threads never
+    /// change outcomes, so checkpoints replay across machines).
+    #[must_use]
+    pub fn config_fingerprint(&self) -> u64 {
+        let mut normalized = self.config.clone();
+        normalized.base.threads = 1;
+        let json = serde_json::to_string(&normalized).unwrap_or_default();
+        fnv1a_64(format!("{}|{json}", self.selector.name()).as_bytes())
+    }
+
+    /// Builds the initial federation state: starts every shard on its
+    /// derived seed and, for S>1, generates the offered stream from the
+    /// base configuration on the federation seed.
+    #[must_use]
+    pub fn start(&self, seed: u64) -> FederationState {
+        let shards: Vec<RunState> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(s, engine)| engine.start(self.config.shard_seed(seed, s as u32)))
+            .collect();
+        let arrivals = if self.config.shards == 1 {
+            Vec::new()
+        } else {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            self.base.generate_arrivals(&mut rng)
+        };
+        let counters = RouteCounters::new(self.shards.len());
+        FederationState {
+            seed,
+            shards,
+            arrivals,
+            next_arrival: 0,
+            next_fed_job: 0,
+            rr_cursor: 0,
+            merged: FederationLog::new(),
+            cross_shard: Vec::new(),
+            counters,
+        }
+    }
+
+    /// Runs the federation to queue exhaustion.
+    ///
+    /// Deterministic: a pure function of `(config, seed)`; two identical
+    /// calls produce byte-identical [`FederationRun`]s.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard failure.
+    pub fn run(&self, seed: u64) -> Result<FederationRun, FederationError> {
+        let mut state = self.start(seed);
+        while self.step(&mut state)?.is_some() {}
+        Ok(self.finish(state))
+    }
+
+    /// What the merge loop does next: route the pending stream arrival if
+    /// it is due at or before the earliest shard event (route-before-step,
+    /// ties to the router), otherwise step the shard holding the globally
+    /// earliest `(time, seq, shard)` event.
+    fn next_action(&self, state: &FederationState) -> Option<NextAction> {
+        let arrival = state
+            .arrivals
+            .get(state.next_arrival)
+            .map(|(t, _)| t.ticks());
+        let head = state.next_event_key();
+        match (arrival, head) {
+            (Some(at), Some((ht, _, _))) if at <= ht => Some(NextAction::Route),
+            (Some(_), None) => Some(NextAction::Route),
+            (_, Some((_, _, shard))) => Some(NextAction::Step(shard as usize)),
+            (None, None) => None,
+        }
+    }
+
+    /// Advances the federation by exactly one merged-log entry: routes
+    /// every stream arrival that is due, then steps the shard holding the
+    /// globally earliest event. Returns `None` when the run has drained.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard failure.
+    pub fn step(
+        &self,
+        state: &mut FederationState,
+    ) -> Result<Option<FederatedLogEntry>, FederationError> {
+        self.advance_one(state, None)
+    }
+
+    /// Processes merge-loop work with virtual time at most `target`;
+    /// returns the number of merged entries produced. The service daemon
+    /// uses this to pace shards against the wall clock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard failure.
+    pub fn advance_to(
+        &self,
+        state: &mut FederationState,
+        target: TimePoint,
+    ) -> Result<u64, FederationError> {
+        let mut processed = 0;
+        while self.advance_one(state, Some(target.ticks()))?.is_some() {
+            processed += 1;
+        }
+        Ok(processed)
+    }
+
+    /// One iteration of the merge loop, bounded by an optional time
+    /// limit. Routing consumes arrivals without producing entries, so the
+    /// loop continues until a shard steps (one entry) or nothing due
+    /// remains.
+    fn advance_one(
+        &self,
+        state: &mut FederationState,
+        limit: Option<i64>,
+    ) -> Result<Option<FederatedLogEntry>, FederationError> {
+        loop {
+            let due = |time: i64| limit.is_none_or(|l| time <= l);
+            match self.next_action(state) {
+                None => return Ok(None),
+                Some(NextAction::Route) => {
+                    let (at, request) = state.arrivals[state.next_arrival];
+                    if !due(at.ticks()) {
+                        return Ok(None);
+                    }
+                    state.next_arrival += 1;
+                    let fed_job = state.next_fed_job;
+                    state.next_fed_job += 1;
+                    self.place(state, fed_job, request, at)?;
+                }
+                Some(NextAction::Step(shard)) => {
+                    let Some((time, _, _)) = state.next_event_key() else {
+                        return Ok(None);
+                    };
+                    if !due(time) {
+                        return Ok(None);
+                    }
+                    let engine = &self.shards[shard];
+                    let stepped = engine.step(&mut state.shards[shard]).map_err(|source| {
+                        FederationError::Engine {
+                            shard: shard as u32,
+                            source,
+                        }
+                    })?;
+                    let Some(entry) = stepped else {
+                        // The head vanished between peek and pop — cannot
+                        // happen single-threaded; treat as drained.
+                        return Ok(None);
+                    };
+                    let fed = FederatedLogEntry {
+                        shard: shard as u32,
+                        time: entry.time,
+                        seq: entry.seq,
+                        event: entry.event,
+                    };
+                    state.merged.push(fed);
+                    return Ok(Some(fed));
+                }
+            }
+        }
+    }
+
+    /// Submits an external job to the federation (the service-mode
+    /// surface): assigns a federation job id, routes it under the
+    /// configured policy, and returns where it landed.
+    ///
+    /// With more than one shard the arrival time is clamped to no earlier
+    /// than the last merged entry's tick, so probes anchor at a tick the
+    /// merged log has reached; the per-shard submit then nudges past the
+    /// frontier only when the injected arrival's `(time, seq, shard)` key
+    /// would otherwise sort before an already-merged entry. With one
+    /// shard the engine's own last-time clamp is already exact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shard failures from routing.
+    pub fn submit(
+        &self,
+        state: &mut FederationState,
+        request: ResourceRequest,
+        at: TimePoint,
+    ) -> Result<(u64, Placement), FederationError> {
+        let eff = if self.config.shards > 1 {
+            match state.merged.entries.last() {
+                Some(last) => at.max(TimePoint::new(last.time)),
+                None => at,
+            }
+        } else {
+            at
+        };
+        let fed_job = state.next_fed_job;
+        state.next_fed_job += 1;
+        let placement = self.place(state, fed_job, request, eff)?;
+        Ok((fed_job, placement))
+    }
+
+    /// The earliest tick at or after `at` where injecting an arrival into
+    /// `shard` keeps the merged log strictly ordered: at the frontier
+    /// tick itself when the arrival's predicted `(seq, shard)` still
+    /// sorts after the last merged entry, one past it otherwise.
+    fn order_safe_time(&self, state: &FederationState, shard: usize, at: TimePoint) -> TimePoint {
+        let Some(last) = state.merged.entries.last() else {
+            return at;
+        };
+        let at = at.max(TimePoint::new(last.time));
+        if at.ticks() > last.time {
+            return at;
+        }
+        let seq = state.shards[shard].next_event_seq();
+        if (seq, shard as u32) > (last.seq, last.shard) {
+            at
+        } else {
+            TimePoint::new(last.time + 1)
+        }
+    }
+
+    /// Replays a recorded routing decision: submits directly to `shard`
+    /// with no policy evaluation. The service WAL records `(shard, time)`
+    /// per accepted job precisely so recovery can re-inject without
+    /// re-deciding.
+    ///
+    /// # Errors
+    ///
+    /// [`FederationError::Protocol`] if `shard` is out of range.
+    pub fn submit_routed(
+        &self,
+        state: &mut FederationState,
+        shard: u32,
+        request: ResourceRequest,
+        at: TimePoint,
+    ) -> Result<(u32, TimePoint), FederationError> {
+        let index = shard as usize;
+        if index >= self.shards.len() {
+            return Err(FederationError::Protocol {
+                detail: "routed shard index out of range",
+            });
+        }
+        state.next_fed_job += 1;
+        state.counters.routed[index] += 1;
+        Ok(self.shards[index].submit(&mut state.shards[index], request, at))
+    }
+
+    /// Routes one job: picks a shard under the policy, or — when
+    /// cheapest-probe finds no feasible shard — attempts cross-shard
+    /// co-allocation before falling back to a least-backlog submit.
+    fn place(
+        &self,
+        state: &mut FederationState,
+        fed_job: u64,
+        request: ResourceRequest,
+        at: TimePoint,
+    ) -> Result<Placement, FederationError> {
+        let chosen = match self.config.route {
+            RoutePolicy::RoundRobin => {
+                let shard = (state.rr_cursor % self.shards.len() as u64) as usize;
+                state.rr_cursor += 1;
+                Some(shard)
+            }
+            RoutePolicy::LeastBacklog => self.least_backlog(state),
+            RoutePolicy::CheapestProbe => {
+                state.counters.probes += self.shards.len() as u64;
+                self.cheapest_shard(&state.shards, &request, at)
+            }
+        };
+        if let Some(shard) = chosen {
+            let at = self.order_safe_time(state, shard, at);
+            let (job, time) = self.shards[shard].submit(&mut state.shards[shard], request, at);
+            state.counters.routed[shard] += 1;
+            return Ok(Placement::Single {
+                shard: shard as u32,
+                job,
+                time,
+            });
+        }
+        // Cheapest-probe found no host. Coscheduled jobs may still fit in
+        // pieces: try the two-phase cross-shard path.
+        if self.config.cross_shard && self.shards.len() > 1 {
+            if let Some(window) = self.try_cross_shard(state, fed_job, &request, at)? {
+                return Ok(Placement::Cross(window));
+            }
+        }
+        // Last resort: park it on the least-loaded shard and let that
+        // shard's own cycles place it when capacity appears.
+        state.counters.fallback_submits += 1;
+        let shard = self.least_backlog(state).unwrap_or(0);
+        let at = self.order_safe_time(state, shard, at);
+        let (job, time) = self.shards[shard].submit(&mut state.shards[shard], request, at);
+        state.counters.routed[shard] += 1;
+        Ok(Placement::Single {
+            shard: shard as u32,
+            job,
+            time,
+        })
+    }
+
+    /// The cheapest-probe core: scans every shard's vacant market for
+    /// the earliest feasible window and returns the shard offering the
+    /// cheapest one (ties by shard index).
+    fn cheapest_shard(
+        &self,
+        shards: &[RunState],
+        request: &ResourceRequest,
+        at: TimePoint,
+    ) -> Option<usize> {
+        let mut best: Option<(Money, usize)> = None;
+        for (shard, shard_state) in shards.iter().enumerate() {
+            let mut scan = ScanStats::new();
+            if let Some(window) =
+                repair_search(&self.selector, request, at, shard_state.vacant(), &mut scan)
+            {
+                let key = (window.total_cost(), shard);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+        }
+        best.map(|(_, shard)| shard)
+    }
+
+    /// Probes every shard's vacant market for the cheapest feasible
+    /// window *without* routing, reserving, or mutating anything — the
+    /// read-only core of [`RoutePolicy::CheapestProbe`], exposed so
+    /// clients (and benchmarks) can ask "where would this job land?"
+    /// before submitting. Returns the winning shard index, or `None`
+    /// when no single shard can host the request.
+    #[must_use]
+    pub fn probe_cheapest(
+        &self,
+        state: &FederationState,
+        request: &ResourceRequest,
+        at: TimePoint,
+    ) -> Option<u32> {
+        self.cheapest_shard(&state.shards, request, at)
+            .map(|s| s as u32)
+    }
+
+    /// The shard with the fewest uncompleted jobs, ties to the lowest
+    /// index.
+    fn least_backlog(&self, state: &FederationState) -> Option<usize> {
+        (0..self.shards.len()).min_by_key(|&s| (state.shards[s].backlog(), s))
+    }
+
+    /// The cross-shard alignment fixed point: split the job across
+    /// shards, probe each shard for its earliest sub-window at or after
+    /// the anchor and reserve it (phase one), and commit only when the
+    /// start spread is within [`FederationConfig::align_tolerance`]
+    /// (phase two) — exact agreement at the default tolerance of zero.
+    /// Misaligned rounds release everything and retry from the latest
+    /// start; infeasible shards or round exhaustion release everything
+    /// and give up.
+    fn try_cross_shard(
+        &self,
+        state: &mut FederationState,
+        fed_job: u64,
+        request: &ResourceRequest,
+        at: TimePoint,
+    ) -> Result<Option<CrossShardWindow>, FederationError> {
+        let splits = split_nodes(request.nodes(), self.config.shards);
+        if splits.len() < 2 {
+            return Ok(None);
+        }
+        let mut subs = Vec::with_capacity(splits.len());
+        for nodes in &splits {
+            match ResourceRequest::new(
+                *nodes,
+                request.wall_time(),
+                request.min_perf(),
+                request.price_cap(),
+            ) {
+                Ok(sub) => subs.push(sub),
+                Err(_) => return Ok(None),
+            }
+        }
+        let mut anchor = at;
+        for _round in 0..self.config.max_align_rounds {
+            state.counters.align_rounds += 1;
+            let mut reserved: Vec<ReservedPart> = Vec::with_capacity(subs.len());
+            let mut feasible = true;
+            for (shard, sub) in subs.iter().enumerate() {
+                state.counters.probes += 1;
+                let mut scan = ScanStats::new();
+                let window = repair_search(
+                    &self.selector,
+                    sub,
+                    anchor,
+                    state.shards[shard].vacant(),
+                    &mut scan,
+                );
+                let Some(window) = window else {
+                    feasible = false;
+                    break;
+                };
+                match self.shards[shard].reserve(&mut state.shards[shard], &window) {
+                    Ok(reservation) => {
+                        state.counters.reservations_reserved += 1;
+                        reserved.push(ReservedPart {
+                            shard: shard as u32,
+                            reservation,
+                            window,
+                        });
+                    }
+                    Err(source) => {
+                        self.release_cross_shard(state, &reserved);
+                        return Err(FederationError::Reserve {
+                            shard: shard as u32,
+                            source,
+                        });
+                    }
+                }
+            }
+            if !feasible {
+                self.release_cross_shard(state, &reserved);
+                return Ok(None);
+            }
+            let starts: Vec<i64> = reserved.iter().map(|p| p.window.start().ticks()).collect();
+            let latest = starts.iter().copied().max().unwrap_or(anchor.ticks());
+            let earliest = starts.iter().copied().min().unwrap_or(anchor.ticks());
+            if latest - earliest <= self.config.align_tolerance {
+                let window = self.commit_cross_shard(state, fed_job, reserved, &subs, at)?;
+                return Ok(Some(window));
+            }
+            // Misaligned: release the round's holds and retry anchored at
+            // the latest start — the classic co-allocation fixed point.
+            self.release_cross_shard(state, &reserved);
+            anchor = TimePoint::new(latest);
+        }
+        Ok(None)
+    }
+
+    /// Phase one over an explicit shard/window list: reserve every
+    /// window, releasing the ones already taken if any shard refuses.
+    ///
+    /// # Errors
+    ///
+    /// [`FederationError::Reserve`] from the refusing shard (all sibling
+    /// reservations are released first).
+    pub fn reserve_cross_shard(
+        &self,
+        state: &mut FederationState,
+        parts: &[(u32, Window)],
+    ) -> Result<Vec<ReservedPart>, FederationError> {
+        let mut reserved = Vec::with_capacity(parts.len());
+        for (shard, window) in parts {
+            let index = *shard as usize;
+            if index >= self.shards.len() {
+                self.release_cross_shard(state, &reserved);
+                return Err(FederationError::Protocol {
+                    detail: "reserve shard index out of range",
+                });
+            }
+            match self.shards[index].reserve(&mut state.shards[index], window) {
+                Ok(reservation) => {
+                    state.counters.reservations_reserved += 1;
+                    reserved.push(ReservedPart {
+                        shard: *shard,
+                        reservation,
+                        window: window.clone(),
+                    });
+                }
+                Err(source) => {
+                    self.release_cross_shard(state, &reserved);
+                    return Err(FederationError::Reserve {
+                        shard: *shard,
+                        source,
+                    });
+                }
+            }
+        }
+        Ok(reserved)
+    }
+
+    /// Phase two: commit every reservation of one cross-shard placement,
+    /// or — if any sibling broke while held (a revocation strike between
+    /// the phases) — release them all and commit nothing.
+    ///
+    /// # Errors
+    ///
+    /// [`FederationError::TwoPhaseAborted`] when a sibling broke (all
+    /// reservations released, no leases created);
+    /// [`FederationError::Protocol`] on mismatched arguments.
+    pub fn commit_cross_shard(
+        &self,
+        state: &mut FederationState,
+        fed_job: u64,
+        reserved: Vec<ReservedPart>,
+        requests: &[ResourceRequest],
+        at: TimePoint,
+    ) -> Result<CrossShardWindow, FederationError> {
+        if reserved.is_empty() || reserved.len() != requests.len() {
+            self.release_cross_shard(state, &reserved);
+            return Err(FederationError::Protocol {
+                detail: "commit needs one request per reserved part",
+            });
+        }
+        let intact = reserved.iter().all(|part| {
+            state.shards[part.shard as usize]
+                .reservation(part.reservation)
+                .is_some_and(|r| !r.is_broken())
+        });
+        if !intact {
+            self.release_cross_shard(state, &reserved);
+            return Err(FederationError::TwoPhaseAborted { fed_job });
+        }
+        // The synchronized launch tick: the latest part start. Under
+        // exact alignment (tolerance 0) every part starts here; with
+        // slack, earlier parts hold their nodes until the last one is up.
+        let start = reserved
+            .iter()
+            .map(|part| part.window.start().ticks())
+            .max()
+            .unwrap_or_else(|| at.ticks());
+        let mut parts = Vec::with_capacity(reserved.len());
+        for (i, (part, request)) in reserved.iter().zip(requests).enumerate() {
+            let shard = part.shard as usize;
+            match self.shards[shard].commit_reservation(
+                &mut state.shards[shard],
+                part.reservation,
+                *request,
+                at,
+            ) {
+                Ok((job, lease)) => parts.push(CrossShardPart {
+                    shard: part.shard,
+                    job,
+                    lease,
+                    window: part.window.clone(),
+                }),
+                Err(source) => {
+                    // Unreachable after the intact gate (nothing steps
+                    // between gate and commit), but stay safe: release
+                    // what is still held. Parts already committed remain
+                    // ordinary single-shard leases.
+                    self.release_cross_shard(state, &reserved[i + 1..]);
+                    return Err(FederationError::Reserve {
+                        shard: part.shard,
+                        source,
+                    });
+                }
+            }
+        }
+        let window = CrossShardWindow {
+            fed_job,
+            start,
+            parts,
+        };
+        state.cross_shard.push(window.clone());
+        state.counters.cross_shard_committed += 1;
+        Ok(window)
+    }
+
+    /// Releases every still-held reservation in `parts` (broken ones are
+    /// dropped without returning capacity — their windows are gone).
+    pub fn release_cross_shard(&self, state: &mut FederationState, parts: &[ReservedPart]) {
+        for part in parts {
+            let shard = part.shard as usize;
+            if shard >= self.shards.len() {
+                continue;
+            }
+            if self.shards[shard]
+                .release_reservation(&mut state.shards[shard], part.reservation)
+                .is_ok()
+            {
+                state.counters.reservations_released += 1;
+            }
+        }
+    }
+
+    /// Closes the books: finishes every shard, folds the reports, and
+    /// asserts the live merged log equals the sorted union of the final
+    /// shard logs.
+    #[must_use]
+    pub fn finish(&self, state: FederationState) -> FederationRun {
+        let FederationState {
+            shards,
+            merged,
+            cross_shard,
+            counters,
+            next_fed_job,
+            ..
+        } = state;
+        let reservations_broken: u64 = shards.iter().map(RunState::reservations_broken).sum();
+        let shard_runs: Vec<EngineRun> = self
+            .shards
+            .iter()
+            .zip(shards)
+            .map(|(engine, shard_state)| engine.finish(shard_state))
+            .collect();
+        let logs: Vec<&EventLog> = shard_runs.iter().map(|run| &run.log).collect();
+        debug_assert_eq!(
+            merged,
+            merge_shard_logs(&logs),
+            "live merge diverged from the sorted union of shard logs"
+        );
+        let jobs_offered = if self.config.shards == 1 {
+            shard_runs[0].report.jobs_arrived
+        } else {
+            next_fed_job
+        };
+        // A cross-shard job runs as one shard-level job per part, so the
+        // raw sum over shard reports counts each committed split
+        // `parts - 1` times too many. Fold the siblings back into one
+        // federation-level completion.
+        let extra_parts: u64 = cross_shard
+            .iter()
+            .map(|w| w.parts.len().saturating_sub(1) as u64)
+            .sum();
+        let raw_completed: u64 = shard_runs.iter().map(|r| r.report.jobs_completed).sum();
+        let report = FederationReport {
+            jobs_offered,
+            jobs_completed: raw_completed.saturating_sub(extra_parts),
+            backlog: shard_runs.iter().map(|r| r.report.backlog).sum(),
+            routing: counters,
+            reservations_broken,
+            merged_events: merged.len() as u64,
+            merged_log_hash: merged.fnv1a_hash(),
+            shards: shard_runs.iter().map(|r| r.report.clone()).collect(),
+        };
+        FederationRun {
+            report,
+            merged,
+            cross_shard,
+            shards: shard_runs,
+        }
+    }
+
+    /// Captures the full resumable state of an in-flight federated run:
+    /// every shard's engine checkpoint plus the router state. Must not be
+    /// called mid two-phase reservation (the routing action is atomic, so
+    /// between [`Self::step`]s no reservations are ever held).
+    #[must_use]
+    pub fn checkpoint(&self, state: &FederationState) -> FederationCheckpoint {
+        FederationCheckpoint {
+            seed: state.seed,
+            config_fp: self.config_fingerprint(),
+            shards: self
+                .shards
+                .iter()
+                .zip(&state.shards)
+                .map(|(engine, shard_state)| engine.checkpoint(shard_state))
+                .collect(),
+            arrivals: state
+                .arrivals
+                .iter()
+                .map(|(t, request)| ArrivalState {
+                    time: t.ticks(),
+                    request: *request,
+                })
+                .collect(),
+            next_arrival: state.next_arrival as u64,
+            next_fed_job: state.next_fed_job,
+            rr_cursor: state.rr_cursor,
+            merged: state.merged.clone(),
+            cross_shard: state.cross_shard.clone(),
+            counters: state.counters.clone(),
+        }
+    }
+
+    /// Rebuilds a [`FederationState`] from a checkpoint taken by
+    /// [`Self::checkpoint`] under the same configuration and selector.
+    /// Stepping the resumed state reproduces exactly the merged entries
+    /// the captured run would have produced.
+    ///
+    /// # Errors
+    ///
+    /// [`FederationError::CheckpointMismatch`] on a fingerprint mismatch,
+    /// [`FederationError::Protocol`] on a shard-count mismatch, and shard
+    /// resume failures verbatim.
+    pub fn resume(
+        &self,
+        checkpoint: &FederationCheckpoint,
+    ) -> Result<FederationState, FederationError> {
+        let expected = self.config_fingerprint();
+        if checkpoint.config_fp != expected {
+            return Err(FederationError::CheckpointMismatch {
+                expected,
+                found: checkpoint.config_fp,
+            });
+        }
+        if checkpoint.shards.len() != self.shards.len() {
+            return Err(FederationError::Protocol {
+                detail: "checkpoint shard count does not match the federation",
+            });
+        }
+        if checkpoint.counters.routed.len() != self.shards.len() {
+            return Err(FederationError::Protocol {
+                detail: "checkpoint router counters do not match the shard count",
+            });
+        }
+        let shards = self
+            .shards
+            .iter()
+            .zip(&checkpoint.shards)
+            .enumerate()
+            .map(|(shard, (engine, cp))| {
+                engine.resume(cp).map_err(|source| FederationError::Engine {
+                    shard: shard as u32,
+                    source,
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(FederationState {
+            seed: checkpoint.seed,
+            shards,
+            arrivals: checkpoint
+                .arrivals
+                .iter()
+                .map(|a| (TimePoint::new(a.time), a.request))
+                .collect(),
+            next_arrival: checkpoint.next_arrival as usize,
+            next_fed_job: checkpoint.next_fed_job,
+            rr_cursor: checkpoint.rr_cursor,
+            merged: checkpoint.merged.clone(),
+            cross_shard: checkpoint.cross_shard.clone(),
+            counters: checkpoint.counters.clone(),
+        })
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the merged-log total order: random per-shard event
+//! streams merge to a strictly ordered, duplicate-free sequence under
+//! `(time, seq, shard)` that preserves every shard's stream verbatim.
+
+use ecosched_engine::{Event, EventLog};
+use ecosched_federation::{merge_shard_logs, FederatedLogEntry};
+use proptest::prelude::*;
+
+/// A valid shard stream: entries strictly increasing under `(time, seq)`
+/// (the order a single engine pops and logs events in).
+fn shard_stream() -> impl Strategy<Value = Vec<(i64, u64)>> {
+    prop::collection::vec((0i64..200, 0u64..500), 0..48).prop_map(|mut pairs| {
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs
+    })
+}
+
+fn build_log(stream: &[(i64, u64)]) -> EventLog {
+    let mut log = EventLog::new();
+    for (i, &(time, seq)) in stream.iter().enumerate() {
+        log.push(time, seq, Event::JobArrival { job: i as u32 });
+    }
+    log
+}
+
+proptest! {
+    /// The merge of any shard streams is strictly ordered under
+    /// `(time, seq, shard)` — totally ordered and duplicate-free — and
+    /// loses nothing.
+    #[test]
+    fn merge_is_totally_ordered_and_complete(
+        streams in prop::collection::vec(shard_stream(), 1..5)
+    ) {
+        let logs: Vec<EventLog> = streams.iter().map(|s| build_log(s)).collect();
+        let refs: Vec<&EventLog> = logs.iter().collect();
+        let merged = merge_shard_logs(&refs);
+
+        let total: usize = streams.iter().map(Vec::len).sum();
+        prop_assert_eq!(merged.len(), total, "entries were lost or invented");
+        prop_assert!(merged.is_strictly_ordered(), "order violated or duplicate key");
+
+        for window in merged.entries.windows(2) {
+            prop_assert!(window[0].key() < window[1].key());
+        }
+    }
+
+    /// Restricting the merge to one shard returns that shard's stream
+    /// verbatim — merging never reorders a shard against itself.
+    #[test]
+    fn merge_preserves_each_shard_stream(
+        streams in prop::collection::vec(shard_stream(), 1..5)
+    ) {
+        let logs: Vec<EventLog> = streams.iter().map(|s| build_log(s)).collect();
+        let refs: Vec<&EventLog> = logs.iter().collect();
+        let merged = merge_shard_logs(&refs);
+
+        for (shard, stream) in streams.iter().enumerate() {
+            let filtered: Vec<(i64, u64)> = merged
+                .entries
+                .iter()
+                .filter(|e| e.shard == shard as u32)
+                .map(|e| (e.time, e.seq))
+                .collect();
+            prop_assert_eq!(&filtered, stream, "shard {} stream mangled", shard);
+        }
+    }
+
+    /// The merge is idempotent: merging the merged log (as a single
+    /// stream, re-keyed) keeps the exact entry sequence.
+    #[test]
+    fn merge_hash_is_a_pure_function_of_the_streams(
+        streams in prop::collection::vec(shard_stream(), 1..4)
+    ) {
+        let logs: Vec<EventLog> = streams.iter().map(|s| build_log(s)).collect();
+        let refs: Vec<&EventLog> = logs.iter().collect();
+        let first = merge_shard_logs(&refs);
+        let second = merge_shard_logs(&refs);
+        prop_assert_eq!(first.fnv1a_hash(), second.fnv1a_hash());
+        prop_assert_eq!(first.to_json(), second.to_json());
+    }
+}
+
+#[test]
+fn entry_key_orders_time_then_seq_then_shard() {
+    let entry = |shard, time, seq| FederatedLogEntry {
+        shard,
+        time,
+        seq,
+        event: Event::JobArrival { job: 0 },
+    };
+    assert!(
+        entry(3, 1, 9).key() < entry(0, 2, 0).key(),
+        "time dominates"
+    );
+    assert!(
+        entry(3, 5, 1).key() < entry(0, 5, 2).key(),
+        "seq breaks time ties"
+    );
+    assert!(
+        entry(0, 5, 2).key() < entry(1, 5, 2).key(),
+        "shard breaks the rest"
+    );
+}

@@ -1,0 +1,247 @@
+//! Two-phase cross-shard reservation failure paths: a revocation strike
+//! between reserve and commit must release every sibling reservation —
+//! no leaked leases, no lost market capacity on unbroken shards.
+
+use ecosched_core::{Perf, Price, ResourceRequest, TimeDelta, Window};
+use ecosched_engine::{ArrivalConfig, EngineConfig, RunState};
+use ecosched_federation::{Federation, FederationConfig, FederationError, RoutePolicy};
+use ecosched_select::{repair_search, Amp, ScanStats};
+use ecosched_sim::RevocationConfig;
+use proptest::prelude::*;
+
+fn two_shard_config(revocation: RevocationConfig) -> FederationConfig {
+    let base = EngineConfig {
+        revocation,
+        // No generator stream: the tests drive shards directly.
+        arrivals: ArrivalConfig::External,
+        ..EngineConfig::default()
+    };
+    FederationConfig {
+        route: RoutePolicy::CheapestProbe,
+        cross_shard: true,
+        ..FederationConfig::new(base, 2)
+    }
+}
+
+fn probe_request() -> ResourceRequest {
+    ResourceRequest::new(
+        1,
+        TimeDelta::new(20),
+        Perf::from_f64(0.5),
+        Price::from_credits(60),
+    )
+    .unwrap()
+}
+
+/// Earliest feasible 1-node window on the shard's current market.
+fn probe(state: &RunState) -> Option<Window> {
+    let mut scan = ScanStats::new();
+    repair_search(
+        &Amp::new(),
+        &probe_request(),
+        state.last_time(),
+        state.vacant(),
+        &mut scan,
+    )
+}
+
+fn vacant_ticks(state: &RunState) -> i64 {
+    state
+        .vacant()
+        .iter()
+        .map(|s| s.span().length().ticks())
+        .sum()
+}
+
+/// Steps shard `shard` until its market is non-empty.
+fn step_until_market(
+    fed: &Federation<Amp>,
+    state: &mut ecosched_federation::FederationState,
+    shard: usize,
+) {
+    for _ in 0..256 {
+        if !state.shard(shard).vacant().is_empty() {
+            return;
+        }
+        fed.shard_engine(shard)
+            .step(state.shard_mut(shard))
+            .unwrap()
+            .expect("shard drained before publishing a market");
+    }
+    panic!("no market after 256 steps");
+}
+
+#[test]
+fn strike_between_reserve_and_commit_releases_all_siblings() {
+    // Total revocation: the first strike after reserve breaks the hold.
+    let fed = Federation::new(
+        two_shard_config(RevocationConfig::per_slot(1.0)),
+        Amp::new(),
+    )
+    .unwrap();
+    let mut state = fed.start(5);
+    step_until_market(&fed, &mut state, 0);
+    step_until_market(&fed, &mut state, 1);
+
+    let w0 = probe(state.shard(0)).expect("shard 0 hosts a window");
+    let w1 = probe(state.shard(1)).expect("shard 1 hosts a window");
+    let sibling_ticks_before = vacant_ticks(state.shard(1));
+
+    // Phase one on both shards.
+    let reserved = fed
+        .reserve_cross_shard(&mut state, &[(0, w0), (1, w1)])
+        .unwrap();
+    assert_eq!(state.shard(0).reservations_held(), 1);
+    assert_eq!(state.shard(1).reservations_held(), 1);
+
+    // A strike lands on shard 0 while the reservation is held.
+    for _ in 0..256 {
+        if state.shard(0).reservations_broken() > 0 {
+            break;
+        }
+        fed.shard_engine(0)
+            .step(state.shard_mut(0))
+            .unwrap()
+            .expect("shard 0 drained before striking");
+    }
+    assert!(
+        state.shard(0).reservations_broken() > 0,
+        "per-slot 1.0 revocation never struck the reservation"
+    );
+
+    // Phase two must refuse and release everything — including the
+    // intact sibling on shard 1.
+    let at = state.last_time();
+    let result = fed.commit_cross_shard(
+        &mut state,
+        0,
+        reserved,
+        &[probe_request(), probe_request()],
+        at,
+    );
+    assert!(
+        matches!(result, Err(FederationError::TwoPhaseAborted { fed_job: 0 })),
+        "expected a two-phase abort, got {result:?}"
+    );
+    assert_eq!(state.shard(0).reservations_held(), 0, "leaked on shard 0");
+    assert_eq!(state.shard(1).reservations_held(), 0, "leaked on shard 1");
+    assert!(state.cross_shard().is_empty(), "no lease may exist");
+
+    // Shard 1 was never struck between reserve and release: its market
+    // must be bit-for-bit restored.
+    assert_eq!(vacant_ticks(state.shard(1)), sibling_ticks_before);
+}
+
+#[test]
+fn infeasible_sibling_releases_the_reservations_already_taken() {
+    let fed = Federation::new(two_shard_config(RevocationConfig::none()), Amp::new()).unwrap();
+    let mut state = fed.start(9);
+    step_until_market(&fed, &mut state, 0);
+    step_until_market(&fed, &mut state, 1);
+
+    let w0 = probe(state.shard(0)).expect("shard 0 hosts a window");
+    // Reserving the same window twice must fail phase one (the first
+    // hold carved the capacity) and release the first hold.
+    let before = vacant_ticks(state.shard(0));
+    let result = fed.reserve_cross_shard(&mut state, &[(0, w0.clone()), (0, w0)]);
+    assert!(matches!(
+        result,
+        Err(FederationError::Reserve { shard: 0, .. })
+    ));
+    assert_eq!(state.shard(0).reservations_held(), 0);
+    assert_eq!(
+        vacant_ticks(state.shard(0)),
+        before,
+        "failed phase one must restore the market exactly"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Lease-table and market invariants of the two-phase protocol under
+    /// random interleavings: after release the market is restored
+    /// exactly; after commit the reservations are gone, the leases exist,
+    /// and exactly the windows' capacity left the market.
+    #[test]
+    fn reserve_then_release_or_commit_preserves_invariants(
+        seed in 0u64..1000,
+        warmup in 0usize..40,
+        commit in any::<bool>(),
+    ) {
+        let fed = Federation::new(
+            two_shard_config(RevocationConfig::none()),
+            Amp::new(),
+        ).unwrap();
+        let mut state = fed.start(seed);
+        step_until_market(&fed, &mut state, 0);
+        step_until_market(&fed, &mut state, 1);
+        for _ in 0..warmup {
+            if fed.step(&mut state).unwrap().is_none() {
+                break;
+            }
+        }
+        let (Some(w0), Some(w1)) = (probe(state.shard(0)), probe(state.shard(1))) else {
+            // Market consumed at this interleaving — nothing to test.
+            return;
+        };
+        let ticks_before = [vacant_ticks(state.shard(0)), vacant_ticks(state.shard(1))];
+        let leases_before = [
+            state.shard(0).report_so_far().jobs_scheduled,
+            state.shard(1).report_so_far().jobs_scheduled,
+        ];
+
+        let reserved = fed
+            .reserve_cross_shard(&mut state, &[(0, w0.clone()), (1, w1.clone())])
+            .unwrap();
+        prop_assert_eq!(state.shard(0).reservations_held(), 1);
+        prop_assert_eq!(state.shard(1).reservations_held(), 1);
+
+        if commit {
+            let at = state.last_time();
+            let window = fed
+                .commit_cross_shard(
+                    &mut state,
+                    0,
+                    reserved,
+                    &[probe_request(), probe_request()],
+                    at,
+                )
+                .unwrap();
+            prop_assert_eq!(window.parts.len(), 2);
+            for (shard, w) in [(0usize, &w0), (1usize, &w1)] {
+                prop_assert_eq!(state.shard(shard).reservations_held(), 0);
+                prop_assert_eq!(
+                    state.shard(shard).report_so_far().jobs_scheduled,
+                    leases_before[shard] + 1,
+                    "commit must mint exactly one lease on shard {}", shard
+                );
+                let used: i64 = w
+                    .slots()
+                    .iter()
+                    .map(|ws| w.used_span(ws).length().ticks())
+                    .sum();
+                prop_assert_eq!(
+                    vacant_ticks(state.shard(shard)),
+                    ticks_before[shard] - used,
+                    "committed window must consume exactly its capacity on shard {}", shard
+                );
+            }
+        } else {
+            fed.release_cross_shard(&mut state, &reserved);
+            for shard in 0..2 {
+                prop_assert_eq!(state.shard(shard).reservations_held(), 0);
+                prop_assert_eq!(
+                    vacant_ticks(state.shard(shard)),
+                    ticks_before[shard],
+                    "release must restore shard {} exactly", shard
+                );
+                prop_assert_eq!(
+                    state.shard(shard).report_so_far().jobs_scheduled,
+                    leases_before[shard],
+                    "release must not mint leases on shard {}", shard
+                );
+            }
+        }
+    }
+}

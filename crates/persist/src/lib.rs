@@ -20,6 +20,10 @@
 //! * a **snapshot cadence helper** ([`run_with_snapshots`]): capture
 //!   after every N-th cycle commit, which is what the crash-recovery
 //!   fault-injection tests and `exp_online --snapshot-every` build on;
+//! * **federated snapshots** ([`federated`]): the whole multi-shard
+//!   federation — per-shard engine checkpoints, router state, merged
+//!   log — captured in one container and rotated by the same store
+//!   discipline, so every shard resumes from the same instant;
 //! * a **rotated snapshot store** ([`rotate`]): a directory of
 //!   crash-atomically written snapshots (temp file + fsync + rename),
 //!   pruned to the newest K, whose loader walks past corrupt or
@@ -31,11 +35,18 @@
 #![forbid(unsafe_code)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod federated;
 pub mod format;
 pub mod replay;
 pub mod rotate;
 pub mod snapshot;
 
+pub use federated::{
+    decode_federated_snapshot, encode_federated_snapshot, peek_federated_meta,
+    read_federated_snapshot, write_federated_snapshot, FederatedSnapshotMeta,
+    FederatedSnapshotStore, LatestFederatedSnapshot, SkippedFederatedSnapshot,
+    FED_CHECKPOINT_SECTION, FED_META_SECTION,
+};
 pub use format::{decode, encode, PersistError, SectionTag, FORMAT_VERSION, MAGIC};
 pub use replay::{
     resume_and_replay, resume_from, run_to_completion, run_with_snapshots, ReplayError,

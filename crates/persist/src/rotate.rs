@@ -25,6 +25,75 @@ const EXT: &str = "ecosnap";
 /// Prefix of every snapshot file name.
 const PREFIX: &str = "snap-";
 
+/// File name for a capture taken after `events` processed events, under
+/// the given store prefix.
+pub(crate) fn file_name_for(prefix: &str, events: u64) -> String {
+    format!("{prefix}{events:016}.{EXT}")
+}
+
+/// Parses the event count out of a snapshot file name under `prefix`.
+pub(crate) fn parse_name_for(prefix: &str, name: &str) -> Option<u64> {
+    let stem = name
+        .strip_prefix(prefix)?
+        .strip_suffix(&format!(".{EXT}"))?;
+    stem.parse().ok()
+}
+
+/// Writes `bytes` crash-atomically under `dir/name`: temp sibling,
+/// fsync, rename, directory fsync.
+pub(crate) fn atomic_save(dir: &Path, name: &str, bytes: &[u8]) -> Result<PathBuf, PersistError> {
+    let final_path = dir.join(name);
+    let tmp_path = final_path.with_extension("tmp");
+    {
+        use std::io::Write as _;
+        let mut file = fs::File::create(&tmp_path)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+    }
+    fs::rename(&tmp_path, &final_path)?;
+    // Make the rename itself durable. Directory fsync is a no-op on
+    // some platforms; failure here must not discard the snapshot.
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(final_path)
+}
+
+/// Snapshot paths under `prefix` in capture order (oldest first). Temp
+/// files and foreign names are ignored.
+pub(crate) fn list_dir(dir: &Path, prefix: &str) -> Result<Vec<PathBuf>, PersistError> {
+    let mut found: Vec<(u64, PathBuf)> = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(events) = parse_name_for(prefix, name) {
+            found.push((events, entry.path()));
+        }
+    }
+    found.sort_unstable_by_key(|(events, _)| *events);
+    Ok(found.into_iter().map(|(_, p)| p).collect())
+}
+
+/// Deletes all but the newest `keep_last` snapshots under `prefix`, and
+/// any stray temp files left by an interrupted save.
+pub(crate) fn prune_dir(dir: &Path, prefix: &str, keep_last: usize) -> Result<(), PersistError> {
+    let listed = list_dir(dir, prefix)?;
+    if listed.len() > keep_last {
+        for stale in &listed[..listed.len() - keep_last] {
+            let _ = fs::remove_file(stale);
+        }
+    }
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.extension().is_some_and(|e| e == "tmp") {
+            let _ = fs::remove_file(&path);
+        }
+    }
+    Ok(())
+}
+
 /// A directory of rotated snapshots with a bounded retention window.
 #[derive(Debug)]
 pub struct SnapshotStore {
@@ -79,15 +148,13 @@ impl SnapshotStore {
 
     /// File name for a capture taken after `events` processed events.
     fn file_name(events: u64) -> String {
-        format!("{PREFIX}{events:016}.{EXT}")
+        file_name_for(PREFIX, events)
     }
 
     /// Parses the event count out of a snapshot file name.
+    #[cfg(test)]
     fn parse_name(name: &str) -> Option<u64> {
-        let stem = name
-            .strip_prefix(PREFIX)?
-            .strip_suffix(&format!(".{EXT}"))?;
-        stem.parse().ok()
+        parse_name_for(PREFIX, name)
     }
 
     /// Saves a checkpoint crash-atomically and prunes old snapshots.
@@ -103,20 +170,11 @@ impl SnapshotStore {
     /// [`PersistError::Io`] on any filesystem failure.
     pub fn save(&self, checkpoint: &EngineCheckpoint) -> Result<PathBuf, PersistError> {
         let meta = SnapshotMeta::of(checkpoint);
-        let final_path = self.dir.join(Self::file_name(meta.events_processed));
-        let tmp_path = final_path.with_extension("tmp");
-        {
-            use std::io::Write as _;
-            let mut file = fs::File::create(&tmp_path)?;
-            file.write_all(&encode_snapshot(checkpoint))?;
-            file.sync_all()?;
-        }
-        fs::rename(&tmp_path, &final_path)?;
-        // Make the rename itself durable. Directory fsync is a no-op on
-        // some platforms; failure here must not discard the snapshot.
-        if let Ok(d) = fs::File::open(&self.dir) {
-            let _ = d.sync_all();
-        }
+        let final_path = atomic_save(
+            &self.dir,
+            &Self::file_name(meta.events_processed),
+            &encode_snapshot(checkpoint),
+        )?;
         self.prune()?;
         Ok(final_path)
     }
@@ -128,17 +186,7 @@ impl SnapshotStore {
     ///
     /// [`PersistError::Io`] when the directory cannot be read.
     pub fn list(&self) -> Result<Vec<PathBuf>, PersistError> {
-        let mut found: Vec<(u64, PathBuf)> = Vec::new();
-        for entry in fs::read_dir(&self.dir)? {
-            let entry = entry?;
-            let name = entry.file_name();
-            let Some(name) = name.to_str() else { continue };
-            if let Some(events) = Self::parse_name(name) {
-                found.push((events, entry.path()));
-            }
-        }
-        found.sort_unstable_by_key(|(events, _)| *events);
-        Ok(found.into_iter().map(|(_, p)| p).collect())
+        list_dir(&self.dir, PREFIX)
     }
 
     /// Deletes all but the newest `keep_last` snapshots, and any stray
@@ -150,20 +198,7 @@ impl SnapshotStore {
     /// to delete individual files are ignored (they will be retried on
     /// the next save).
     pub fn prune(&self) -> Result<(), PersistError> {
-        let listed = self.list()?;
-        if listed.len() > self.keep_last {
-            for stale in &listed[..listed.len() - self.keep_last] {
-                let _ = fs::remove_file(stale);
-            }
-        }
-        for entry in fs::read_dir(&self.dir)? {
-            let entry = entry?;
-            let path = entry.path();
-            if path.extension().is_some_and(|e| e == "tmp") {
-                let _ = fs::remove_file(&path);
-            }
-        }
-        Ok(())
+        prune_dir(&self.dir, PREFIX, self.keep_last)
     }
 
     /// Finds and decodes the newest usable snapshot, skipping corrupt

@@ -61,10 +61,14 @@ impl Default for AdmissionPolicy {
 /// The slice of run state admission reads.
 #[derive(Debug)]
 pub struct MarketView<'a> {
-    /// Jobs waiting to be scheduled (see `RunState::backlog`).
+    /// Jobs waiting to be scheduled, summed across shards (see
+    /// `RunState::backlog`).
     pub backlog: u64,
-    /// The live vacant-slot market.
-    pub vacant: &'a SlotList,
+    /// The live vacant-slot market of every shard, in shard order.
+    /// Service mode places each job on exactly one shard, so the
+    /// budget screen asks whether *some* shard's market suffices — node
+    /// and slot ids are shard-local and must not be pooled.
+    pub markets: &'a [&'a SlotList],
     /// Current virtual time in ticks.
     pub now: i64,
     /// Ticks between cycle ticks.
@@ -130,7 +134,14 @@ pub fn decide(
     }
 
     if policy.admit_market {
-        let eligible = eligible_nodes(view.vacant, &request, view.now);
+        // Best single shard: the job lands on one shard, so the screen
+        // passes iff some shard's market could host it.
+        let eligible = view
+            .markets
+            .iter()
+            .map(|vacant| eligible_nodes(vacant, &request, view.now))
+            .max()
+            .unwrap_or(0);
         if eligible < request.nodes() as u64 {
             return Err(RejectReason::BudgetInfeasible {
                 needed_nodes: request.nodes() as u64,
@@ -187,10 +198,10 @@ mod tests {
         }
     }
 
-    fn view(vacant: &SlotList) -> MarketView<'_> {
+    fn view<'a>(markets: &'a [&'a SlotList]) -> MarketView<'a> {
         MarketView {
             backlog: 0,
-            vacant,
+            markets,
             now: 10,
             cycle_length: 60,
             horizon: 600,
@@ -200,19 +211,21 @@ mod tests {
     #[test]
     fn accepts_feasible_spec() {
         let vacant = market();
+        let markets = [&vacant];
         let policy = AdmissionPolicy::default();
-        let request = decide(&policy, &view(&vacant), &spec(), 0).expect("accepted");
+        let request = decide(&policy, &view(&markets), &spec(), 0).expect("accepted");
         assert_eq!(request.nodes(), 2);
     }
 
     #[test]
     fn rejects_over_backlog_counting_staged() {
         let vacant = market();
+        let markets = [&vacant];
         let policy = AdmissionPolicy {
             max_backlog: 4,
             ..AdmissionPolicy::default()
         };
-        let mut v = view(&vacant);
+        let mut v = view(&markets);
         v.backlog = 3;
         assert!(decide(&policy, &v, &spec(), 0).is_ok());
         let denied = decide(&policy, &v, &spec(), 1).unwrap_err();
@@ -228,7 +241,8 @@ mod tests {
     #[test]
     fn rejects_past_horizon() {
         let vacant = market();
-        let mut v = view(&vacant);
+        let markets = [&vacant];
+        let mut v = view(&markets);
         v.now = 601;
         assert!(matches!(
             decide(&AdmissionPolicy::default(), &v, &spec(), 0),
@@ -239,7 +253,8 @@ mod tests {
     #[test]
     fn rejects_impossible_deadline() {
         let vacant = market();
-        let v = view(&vacant);
+        let markets = [&vacant];
+        let v = view(&markets);
         // Next tick is 60; earliest finish 60 + 30 = 90.
         let tight = JobSpec {
             deadline_tick: Some(89),
@@ -262,7 +277,8 @@ mod tests {
     #[test]
     fn rejects_unaffordable_market() {
         let vacant = market();
-        let v = view(&vacant);
+        let markets = [&vacant];
+        let v = view(&markets);
         let priced_out = JobSpec {
             price_cap_micro: 1_000_000, // every slot costs 2 credits
             ..spec()
@@ -285,7 +301,8 @@ mod tests {
     #[test]
     fn rejects_more_nodes_than_market_offers() {
         let vacant = market();
-        let v = view(&vacant);
+        let markets = [&vacant];
+        let v = view(&markets);
         let wide = JobSpec { nodes: 5, ..spec() };
         assert!(matches!(
             decide(&AdmissionPolicy::default(), &v, &wide, 0),
@@ -297,9 +314,29 @@ mod tests {
     }
 
     #[test]
+    fn the_screen_passes_on_the_best_single_shard_not_the_pool() {
+        // Two shards of 4 nodes each: a 5-node job fits neither alone,
+        // and pooling shard-local node ids would double-count them.
+        let (a, b) = (market(), market());
+        let markets = [&a, &b];
+        let v = view(&markets);
+        let wide = JobSpec { nodes: 5, ..spec() };
+        assert!(matches!(
+            decide(&AdmissionPolicy::default(), &v, &wide, 0),
+            Err(RejectReason::BudgetInfeasible {
+                needed_nodes: 5,
+                eligible_nodes: 4
+            })
+        ));
+        let fits_one = JobSpec { nodes: 4, ..spec() };
+        assert!(decide(&AdmissionPolicy::default(), &v, &fits_one, 0).is_ok());
+    }
+
+    #[test]
     fn malformed_specs_never_reach_the_market() {
         let vacant = market();
-        let v = view(&vacant);
+        let markets = [&vacant];
+        let v = view(&markets);
         let bad = JobSpec { nodes: 0, ..spec() };
         assert!(matches!(
             decide(&AdmissionPolicy::default(), &v, &bad, 0),

@@ -14,7 +14,8 @@
 //! daemon acked (exactly the window the crash harness SIGKILLs in).
 //! The summary line reports counts and p50/p99/max ack latency.
 //!
-//! `--acked-out FILE` appends one `job_id time` line per accepted job —
+//! `--acked-out FILE` appends one `shard job_id time` line per accepted
+//! job —
 //! the ground truth the zero-acked-loss check compares a resumed
 //! daemon against.
 
@@ -128,7 +129,7 @@ struct Tally {
     rejected_other: u64,
     lost: u64,
     latencies_us: Vec<u64>,
-    acked: Vec<(u32, i64)>,
+    acked: Vec<(u32, u32, i64)>,
 }
 
 impl Tally {
@@ -194,12 +195,12 @@ fn worker(
         }
         let started = Instant::now();
         match c.submit(spec) {
-            Ok(Response::Accepted { job, time }) => {
+            Ok(Response::Accepted { shard, job, time }) => {
                 tally.accepted += 1;
                 tally
                     .latencies_us
                     .push(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
-                tally.acked.push((job, time));
+                tally.acked.push((shard, job, time));
             }
             Ok(Response::Rejected { reason }) => {
                 use ecosched_service::RejectReason as R;
@@ -267,8 +268,8 @@ fn main() -> ExitCode {
         let mut lines = String::new();
         let mut acked = tally.acked.clone();
         acked.sort_unstable();
-        for (job, time) in acked {
-            lines.push_str(&format!("{job} {time}\n"));
+        for (shard, job, time) in acked {
+            lines.push_str(&format!("{shard} {job} {time}\n"));
         }
         if let Ok(mut file) = std::fs::OpenOptions::new()
             .create(true)

@@ -3,6 +3,7 @@
 //! ```text
 //! ecosched-serve --data-dir DIR --listen tcp:127.0.0.1:0
 //!     [--seed N] [--cycles N] [--cycle-length T] [--algo amp|alp]
+//!     [--shards S] [--route round-robin|least-backlog|cheapest-probe]
 //!     [--churn P] [--ticks-per-sec F] [--snapshot-every N]
 //!     [--keep-snapshots K] [--max-backlog N] [--no-market-admission]
 //! ecosched-serve --data-dir DIR --verify
@@ -17,6 +18,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use ecosched_engine::ArrivalConfig;
+use ecosched_federation::RoutePolicy;
 use ecosched_service::{
     serve, verify_data_dir, Endpoint, SelectorChoice, ServeOptions, ServiceManifest,
 };
@@ -34,6 +36,7 @@ fn usage(detail: &str) -> String {
     format!(
         "{detail}\nusage: ecosched-serve --data-dir DIR (--listen tcp:ADDR|unix:PATH | --verify)\n\
          \x20  [--seed N] [--cycles N] [--cycle-length T] [--algo amp|alp] [--churn P]\n\
+         \x20  [--shards S] [--route round-robin|least-backlog|cheapest-probe]\n\
          \x20  [--ticks-per-sec F] [--snapshot-every N] [--keep-snapshots K]\n\
          \x20  [--max-backlog N] [--no-market-admission]"
     )
@@ -77,6 +80,16 @@ fn parse_args() -> Result<Args, String> {
                     "alp" => SelectorChoice::Alp,
                     other => return Err(usage(&format!("unknown --algo {other}"))),
                 };
+            }
+            "--shards" => {
+                manifest.shards = value("--shards")?
+                    .parse()
+                    .map_err(|_| usage("bad --shards"))?;
+            }
+            "--route" => {
+                let name = value("--route")?;
+                manifest.route = RoutePolicy::parse(&name)
+                    .ok_or_else(|| usage(&format!("unknown --route {name}")))?;
             }
             "--churn" => {
                 let p: f64 = value("--churn")?

@@ -136,12 +136,12 @@ fn serve_with<S: SlotSelector + Copy>(
             Err(mpsc::RecvTimeoutError::Disconnected) => return Ok(()),
         }
 
-        let mut pending_acks: Vec<(mpsc::Sender<Response>, u32)> = Vec::new();
+        let mut pending_acks: Vec<(mpsc::Sender<Response>, u32, u32)> = Vec::new();
         let mut shutdown_replies: Vec<mpsc::Sender<Response>> = Vec::new();
         for inbound in batch {
             match inbound.request {
                 Request::Submit { spec } => match session.submit(&spec, now_vt) {
-                    Ok(ack) => pending_acks.push((inbound.reply, ack.job)),
+                    Ok(ack) => pending_acks.push((inbound.reply, ack.shard, ack.job)),
                     Err(reason) => {
                         let _ = inbound.reply.send(Response::Rejected { reason });
                     }
@@ -157,10 +157,11 @@ fn serve_with<S: SlotSelector + Copy>(
 
         // One fsync covers the whole batch; only then do acks go out.
         let acks = session.commit()?;
-        for (reply, job) in pending_acks {
-            let ack = acks.iter().find(|a| a.job == job);
+        for (reply, shard, job) in pending_acks {
+            let ack = acks.iter().find(|a| a.shard == shard && a.job == job);
             let response = match ack {
                 Some(a) => Response::Accepted {
+                    shard: a.shard,
                     job: a.job,
                     time: a.time,
                 },

@@ -1,6 +1,7 @@
 //! The service crate's error type.
 
 use ecosched_engine::EngineError;
+use ecosched_federation::FederationError;
 use ecosched_persist::PersistError;
 
 /// Anything that can go wrong booting, serving, or verifying a daemon.
@@ -11,6 +12,8 @@ pub enum ServiceError {
     /// Engine-level failure (scheduling cycle error, checkpoint
     /// mismatch).
     Engine(EngineError),
+    /// Federation-level failure (shard step, routing, resume).
+    Federation(FederationError),
     /// Snapshot layer failure.
     Persist(PersistError),
     /// Filesystem or socket failure.
@@ -25,6 +28,7 @@ impl std::fmt::Display for ServiceError {
         match self {
             ServiceError::Config(detail) => write!(f, "configuration: {detail}"),
             ServiceError::Engine(e) => write!(f, "engine: {e}"),
+            ServiceError::Federation(e) => write!(f, "federation: {e}"),
             ServiceError::Persist(e) => write!(f, "persistence: {e}"),
             ServiceError::Io(e) => write!(f, "i/o: {e}"),
             ServiceError::Diverged(detail) => write!(f, "replay divergence: {detail}"),
@@ -36,6 +40,7 @@ impl std::error::Error for ServiceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServiceError::Engine(e) => Some(e),
+            ServiceError::Federation(e) => Some(e),
             ServiceError::Persist(e) => Some(e),
             ServiceError::Io(e) => Some(e),
             _ => None,
@@ -46,6 +51,12 @@ impl std::error::Error for ServiceError {
 impl From<EngineError> for ServiceError {
     fn from(e: EngineError) -> Self {
         ServiceError::Engine(e)
+    }
+}
+
+impl From<FederationError> for ServiceError {
+    fn from(e: FederationError) -> Self {
+        ServiceError::Federation(e)
     }
 }
 

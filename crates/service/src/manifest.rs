@@ -12,6 +12,7 @@
 use std::path::{Path, PathBuf};
 
 use ecosched_engine::{ArrivalConfig, EngineConfig};
+use ecosched_federation::{FederationConfig, RoutePolicy};
 use serde::{Deserialize, Serialize};
 
 use crate::admission::AdmissionPolicy;
@@ -36,6 +37,12 @@ pub struct ServiceManifest {
     pub config: EngineConfig,
     /// The scheduling algorithm.
     pub selector: SelectorChoice,
+    /// Shard engines behind the submission surface. One shard is the
+    /// classic single-engine daemon; more shards run a federation whose
+    /// routing decisions are WAL-recorded per job.
+    pub shards: u32,
+    /// How submissions are routed across shards (ignored at one shard).
+    pub route: RoutePolicy,
     /// The admission policy.
     pub admission: AdmissionPolicy,
     /// Snapshot after every N-th cycle tick (0 disables cadence
@@ -55,6 +62,8 @@ impl Default for ServiceManifest {
                 ..EngineConfig::default()
             },
             selector: SelectorChoice::Amp,
+            shards: 1,
+            route: RoutePolicy::LeastBacklog,
             admission: AdmissionPolicy::default(),
             snapshot_every_cycles: 4,
             keep_snapshots: 3,
@@ -69,7 +78,7 @@ impl ServiceManifest {
     ///
     /// [`ServiceError::Config`] describing the violation.
     pub fn validate(&self) -> Result<(), ServiceError> {
-        self.config
+        self.fed_config()
             .validate()
             .map_err(|e| ServiceError::Config(e.to_string()))?;
         if self.config.arrivals != ArrivalConfig::External {
@@ -80,6 +89,18 @@ impl ServiceManifest {
             ));
         }
         Ok(())
+    }
+
+    /// The federation this manifest describes. Cross-shard co-allocation
+    /// stays off in service mode: every WAL entry must replay as exactly
+    /// one single-shard injection, so recovery never re-runs a two-phase
+    /// protocol whose outcome the log does not record.
+    #[must_use]
+    pub fn fed_config(&self) -> FederationConfig {
+        FederationConfig {
+            route: self.route,
+            ..FederationConfig::new(self.config.clone(), self.shards)
+        }
     }
 
     /// The final cycle tick — the daemon's scheduling horizon.

@@ -167,7 +167,10 @@ pub enum Response {
     /// The submission is durable and injected; it will be scheduled by
     /// an upcoming cycle tick.
     Accepted {
-        /// The engine job id (arrival order, stable across resume).
+        /// The shard the router placed the job on (0 on a single-shard
+        /// daemon).
+        shard: u32,
+        /// The shard-local job id (arrival order, stable across resume).
         job: u32,
         /// The virtual arrival time the job was injected at.
         time: i64,
@@ -236,7 +239,11 @@ mod tests {
     #[test]
     fn responses_round_trip() {
         for response in [
-            Response::Accepted { job: 7, time: 42 },
+            Response::Accepted {
+                shard: 1,
+                job: 7,
+                time: 42,
+            },
             Response::Rejected {
                 reason: RejectReason::BacklogFull {
                     backlog: 10,

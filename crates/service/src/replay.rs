@@ -3,19 +3,20 @@
 //!
 //! Service-mode determinism says a run is a pure function of
 //! `(config, seed, accepted-submission sequence)`. The WAL records that
-//! sequence exactly — each entry's injection point, clamped arrival
-//! time, and spec — so a fresh engine stepped through the same
-//! injections MUST reproduce the daemon's event log byte-for-byte.
-//! [`verify_data_dir`] asserts precisely that: the offline log's prefix
-//! equals the newest snapshot's log (serialized JSON, hence hash), and
-//! every WAL entry is reachable and re-injectable. It is the
-//! acceptance check the crash harness and the CI `service-smoke` job
-//! run after every kill.
+//! sequence exactly — each entry's routed shard, merged-log injection
+//! point, clamped arrival time, and spec — so a fresh federation
+//! stepped through the same injections MUST reproduce the daemon's
+//! merged event log byte-for-byte. [`verify_data_dir`] asserts
+//! precisely that: the offline merged log's prefix equals the newest
+//! snapshot's merged log (serialized JSON, hence hash), and every WAL
+//! entry is reachable and re-injectable on its recorded shard. It is
+//! the acceptance check the crash harness and the CI `service-smoke`
+//! and `federation-smoke` jobs run after every kill.
 
 use std::path::Path;
 
-use ecosched_engine::{Engine, RunState};
-use ecosched_persist::SnapshotStore;
+use ecosched_federation::{Federation, FederationState};
+use ecosched_persist::FederatedSnapshotStore;
 use ecosched_select::{Alp, Amp, SlotSelector};
 
 use crate::error::ServiceError;
@@ -30,31 +31,34 @@ pub struct VerifyReport {
     pub wal_entries: u64,
     /// Trailing WAL lines dropped as torn (at most 1 after a crash).
     pub wal_dropped_lines: u64,
-    /// Events in the newest usable snapshot (0 when none exists).
+    /// Merged-log events in the newest usable snapshot (0 when none
+    /// exists).
     pub snapshot_events: u64,
-    /// Arrivals the snapshot already contained.
+    /// Arrivals the snapshot already contained (summed over shards).
     pub acked_in_snapshot: u64,
-    /// FNV-1a 64 hash of the offline log at the snapshot's event count
-    /// (equal to the snapshot's own log hash — that is the assertion).
+    /// FNV-1a 64 hash of the offline merged log at the snapshot's event
+    /// count (equal to the snapshot's own log hash — that is the
+    /// assertion).
     pub log_hash: String,
 }
 
-/// Replays a WAL through a fresh engine: steps to each entry's recorded
-/// injection point, injects, and returns the state positioned just
-/// after the last injection.
+/// Replays a WAL through a fresh federation: steps to each entry's
+/// recorded merged-log injection point, re-injects on its recorded
+/// shard, and returns the state positioned just after the last
+/// injection.
 ///
 /// # Errors
 ///
 /// [`ServiceError::Diverged`] when an injection point is unreachable or
 /// an entry re-injects differently than recorded.
 pub fn replay_wal<S: SlotSelector + Copy>(
-    engine: &Engine<S>,
+    fed: &Federation<S>,
     seed: u64,
     entries: &[WalEntry],
-) -> Result<RunState, ServiceError> {
-    let mut state = engine.start(seed);
+) -> Result<FederationState, ServiceError> {
+    let mut state = fed.start(seed);
     for entry in entries {
-        reinject(engine, &mut state, entry)?;
+        reinject(fed, &mut state, entry)?;
     }
     Ok(state)
 }
@@ -65,7 +69,7 @@ pub fn replay_wal<S: SlotSelector + Copy>(
 /// # Errors
 ///
 /// [`ServiceError::Diverged`] on any mismatch; otherwise the underlying
-/// manifest/persist/engine error.
+/// manifest/persist/federation error.
 pub fn verify_data_dir(data_dir: &Path) -> Result<VerifyReport, ServiceError> {
     let manifest = load_manifest(data_dir)?.ok_or_else(|| {
         ServiceError::Config(format!("{} has no manifest.json", data_dir.display()))
@@ -81,51 +85,58 @@ fn verify_with<S: SlotSelector + Copy>(
     manifest: &ServiceManifest,
     selector: S,
 ) -> Result<VerifyReport, ServiceError> {
-    let engine = Engine::new(manifest.config.clone(), selector)
+    let fed = Federation::new(manifest.fed_config(), selector)
         .map_err(|e| ServiceError::Config(e.to_string()))?;
     let loaded = load_wal(&wal_path(data_dir))?;
-    let mut offline = replay_wal(&engine, manifest.seed, &loaded.entries)?;
+    let mut offline = replay_wal(&fed, manifest.seed, &loaded.entries)?;
 
-    let store = SnapshotStore::open(snapshot_dir(data_dir), manifest.keep_snapshots.max(1))?;
+    let store =
+        FederatedSnapshotStore::open(snapshot_dir(data_dir), manifest.keep_snapshots.max(1))?;
     let Some(latest) = store.load_latest()? else {
         return Ok(VerifyReport {
             wal_entries: loaded.entries.len() as u64,
             wal_dropped_lines: loaded.dropped_lines as u64,
             snapshot_events: 0,
             acked_in_snapshot: 0,
-            log_hash: offline.log().fnv1a_hash(),
+            log_hash: offline.merged().fnv1a_hash(),
         });
     };
 
-    // Step the offline run to the snapshot's event count. The snapshot
-    // may be *behind* the last injection (offline already past it) or
-    // *ahead* (the daemon stepped on after its last accepted job).
-    let snapshot_events = latest.checkpoint.log.len();
-    while offline.events_processed() < snapshot_events {
-        if engine.step(&mut offline)?.is_none() {
+    // Step the offline run to the snapshot's merged-event count. The
+    // snapshot may be *behind* the last injection (offline already past
+    // it) or *ahead* (the daemon stepped on after its last accepted
+    // job).
+    let snapshot_events = latest.checkpoint.merged.len();
+    while offline.merged().len() < snapshot_events {
+        if fed.step(&mut offline)?.is_none() {
             return Err(ServiceError::Diverged(format!(
-                "offline replay drained at {} events; snapshot has {snapshot_events}",
-                offline.events_processed()
+                "offline replay drained at {} merged events; snapshot has {snapshot_events}",
+                offline.merged().len()
             )));
         }
     }
 
     // Byte-identity of the common prefix. Serialized JSON comparison ==
     // hash comparison, but diffing entries gives a better error.
-    let offline_prefix = &offline.log().entries[..snapshot_events.min(offline.events_processed())];
-    if offline_prefix != latest.checkpoint.log.entries.as_slice() {
+    let offline_prefix = &offline.merged().entries[..snapshot_events.min(offline.merged().len())];
+    if offline_prefix != latest.checkpoint.merged.entries.as_slice() {
         let first_bad = offline_prefix
             .iter()
-            .zip(&latest.checkpoint.log.entries)
+            .zip(&latest.checkpoint.merged.entries)
             .position(|(a, b)| a != b);
         return Err(ServiceError::Diverged(format!(
-            "offline log diverges from snapshot {} at event index {first_bad:?}",
+            "offline merged log diverges from snapshot {} at event index {first_bad:?}",
             latest.path.display()
         )));
     }
 
     // Every snapshot arrival must be WAL-recorded (no phantom acks).
-    let acked_in_snapshot = latest.checkpoint.arrivals.len();
+    let acked_in_snapshot: usize = latest
+        .checkpoint
+        .shards
+        .iter()
+        .map(|cp| cp.arrivals.len())
+        .sum();
     if acked_in_snapshot > loaded.entries.len() {
         return Err(ServiceError::Diverged(format!(
             "snapshot holds {acked_in_snapshot} arrivals, WAL records only {}",
@@ -138,6 +149,6 @@ fn verify_with<S: SlotSelector + Copy>(
         wal_dropped_lines: loaded.dropped_lines as u64,
         snapshot_events: snapshot_events as u64,
         acked_in_snapshot: acked_in_snapshot as u64,
-        log_hash: latest.checkpoint.log.fnv1a_hash(),
+        log_hash: latest.checkpoint.merged.fnv1a_hash(),
     })
 }

@@ -1,14 +1,24 @@
 //! The daemon's core state machine, socket-free and fully testable
-//! in-process: boot (fresh or crash-resume), admission, injection,
-//! group commit, virtual-time advancement, snapshot cadence, and
-//! graceful shutdown.
+//! in-process: boot (fresh or crash-resume), admission, routing,
+//! injection, group commit, virtual-time advancement, snapshot cadence,
+//! and graceful shutdown.
+//!
+//! Since the federation refactor the session always runs a
+//! [`Federation`] — at one shard it is byte-identical to the classic
+//! single-engine daemon (the federation's S=1 identity theorem), at
+//! more shards the router spreads submissions and the WAL records the
+//! decision per job. Cross-shard co-allocation stays off in service
+//! mode (see [`ServiceManifest::fed_config`]), so every accepted
+//! submission is exactly one single-shard injection and recovery never
+//! re-runs a two-phase protocol.
 //!
 //! # Durability and ordering
 //!
 //! A submission moves through exactly this sequence:
 //!
-//! 1. [`Session::submit`] — admission check, then [`Engine::submit`]
-//!    injects the arrival into live state and the entry is *staged*;
+//! 1. [`Session::submit`] — admission check, then [`Federation::submit`]
+//!    routes and injects the arrival into live state and the entry —
+//!    including the chosen shard — is *staged*;
 //! 2. [`Session::commit`] — every staged entry is appended to the
 //!    write-ahead log and fsynced **once** (group commit), then handed
 //!    back as acknowledgements;
@@ -22,18 +32,20 @@
 //!
 //! # Resume
 //!
-//! [`Session::open`] loads the newest usable snapshot (walking past
-//! corrupt ones), verifies that every WAL entry the snapshot claims to
-//! contain matches it, rebuilds the run with [`Engine::resume`], and
-//! re-injects the WAL suffix by stepping the engine to each entry's
-//! recorded injection point — reproducing the crashed process's event
-//! log byte-for-byte.
+//! [`Session::open`] loads the newest usable federated snapshot
+//! (walking past corrupt ones), verifies that every arrival each shard's
+//! checkpoint carries matches the WAL's record for that shard, rebuilds
+//! the run with [`Federation::resume`], and re-injects the WAL suffix by
+//! stepping the federation to each entry's recorded merged-log injection
+//! point and replaying its routing decision verbatim — reproducing the
+//! crashed process's merged event log byte-for-byte.
 
 use std::path::{Path, PathBuf};
 
 use ecosched_core::TimePoint;
-use ecosched_engine::{Engine, Event, RunState};
-use ecosched_persist::SnapshotStore;
+use ecosched_engine::Event;
+use ecosched_federation::{Federation, FederationState, Placement};
+use ecosched_persist::FederatedSnapshotStore;
 use ecosched_select::SlotSelector;
 
 use crate::admission::{decide, MarketView};
@@ -45,7 +57,9 @@ use crate::wal::{load_wal, Wal, WalEntry};
 /// An acknowledgement owed to a client after a commit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Ack {
-    /// The engine job id.
+    /// The shard the job was routed to.
+    pub shard: u32,
+    /// The shard-local job id.
     pub job: u32,
     /// The effective arrival time.
     pub time: i64,
@@ -63,7 +77,7 @@ pub enum BootMode {
     Resumed {
         /// The snapshot file used.
         snapshot: PathBuf,
-        /// Events the snapshot contained.
+        /// Merged-log events the snapshot contained.
         snapshot_events: u64,
         /// WAL entries re-injected past the snapshot.
         replayed: u64,
@@ -72,13 +86,13 @@ pub enum BootMode {
     },
 }
 
-/// The live daemon state: engine run + durability apparatus.
+/// The live daemon state: federated run + durability apparatus.
 #[derive(Debug)]
 pub struct Session<S> {
-    engine: Engine<S>,
-    state: RunState,
+    fed: Federation<S>,
+    state: FederationState,
     manifest: ServiceManifest,
-    store: SnapshotStore,
+    store: FederatedSnapshotStore,
     wal: Wal,
     staged: Vec<WalEntry>,
     rejected_total: u64,
@@ -109,7 +123,7 @@ impl<S: SlotSelector + Copy> Session<S> {
     ///
     /// [`ServiceError::Diverged`] when the durable record is internally
     /// inconsistent (snapshot and WAL disagree); otherwise the
-    /// underlying engine/persist/io error.
+    /// underlying federation/persist/io error.
     pub fn open(
         data_dir: &Path,
         manifest: ServiceManifest,
@@ -123,17 +137,25 @@ impl<S: SlotSelector + Copy> Session<S> {
         if crate::manifest::load_manifest(data_dir)?.is_none() {
             crate::manifest::save_manifest(data_dir, &manifest)?;
         }
-        let engine = Engine::new(manifest.config.clone(), selector)
+        let fed = Federation::new(manifest.fed_config(), selector)
             .map_err(|e| ServiceError::Config(e.to_string()))?;
-        let store = SnapshotStore::open(snapshot_dir(data_dir), manifest.keep_snapshots)?;
+        let store = FederatedSnapshotStore::open(snapshot_dir(data_dir), manifest.keep_snapshots)?;
         let loaded = load_wal(&wal_path(data_dir))?;
 
         let (mut state, boot_mode) = match store.load_latest()? {
             Some(latest) => {
-                let snapshot_events = latest.checkpoint.log.len() as u64;
-                let acked_in_snapshot = latest.checkpoint.arrivals.len();
+                let snapshot_events = latest.checkpoint.merged.len() as u64;
+                let acked_in_snapshot: usize = latest
+                    .checkpoint
+                    .shards
+                    .iter()
+                    .map(|cp| cp.arrivals.len())
+                    .sum();
                 // Every arrival the snapshot carries must be the WAL's
-                // prefix — same job ids, same times, same requests.
+                // prefix — same shards, same job ids, same times, same
+                // requests. Walk the WAL in order, keeping a per-shard
+                // cursor: entry i of shard s must be that shard's i-th
+                // checkpointed arrival.
                 if loaded.entries.len() < acked_in_snapshot {
                     return Err(ServiceError::Diverged(format!(
                         "snapshot holds {acked_in_snapshot} arrivals but the WAL only \
@@ -141,24 +163,40 @@ impl<S: SlotSelector + Copy> Session<S> {
                         loaded.entries.len()
                     )));
                 }
+                let mut cursor = vec![0usize; latest.checkpoint.shards.len()];
                 for (i, entry) in loaded.entries[..acked_in_snapshot].iter().enumerate() {
-                    let arrival = &latest.checkpoint.arrivals[i];
+                    let shard = entry.shard as usize;
+                    let Some(shard_cp) = latest.checkpoint.shards.get(shard) else {
+                        return Err(ServiceError::Diverged(format!(
+                            "WAL entry {i} names shard {shard}, snapshot has {}",
+                            latest.checkpoint.shards.len()
+                        )));
+                    };
+                    let idx = cursor[shard];
+                    let Some(arrival) = shard_cp.arrivals.get(idx) else {
+                        return Err(ServiceError::Diverged(format!(
+                            "WAL entry {i} is shard {shard}'s arrival {idx}, but its \
+                             snapshot only holds {}",
+                            shard_cp.arrivals.len()
+                        )));
+                    };
                     let request = entry
                         .spec
                         .to_request()
                         .map_err(|e| ServiceError::Diverged(format!("WAL entry {i}: {e}")))?;
-                    if entry.job as usize != i
+                    if entry.job as usize != idx
                         || arrival.time != entry.time
                         || arrival.request != request
                     {
                         return Err(ServiceError::Diverged(format!(
-                            "snapshot arrival {i} does not match WAL entry \
-                             (job {}, time {} vs {})",
+                            "snapshot arrival {idx} of shard {shard} does not match WAL \
+                             entry {i} (job {}, time {} vs {})",
                             entry.job, arrival.time, entry.time
                         )));
                     }
+                    cursor[shard] = idx + 1;
                 }
-                let state = engine.resume(&latest.checkpoint)?;
+                let state = fed.resume(&latest.checkpoint)?;
                 (
                     state,
                     BootMode::Resumed {
@@ -170,7 +208,7 @@ impl<S: SlotSelector + Copy> Session<S> {
                 )
             }
             None => (
-                engine.start(manifest.seed),
+                fed.start(manifest.seed),
                 BootMode::Fresh {
                     replayed: loaded.entries.len() as u64,
                 },
@@ -178,14 +216,14 @@ impl<S: SlotSelector + Copy> Session<S> {
         };
 
         // Re-inject the WAL suffix at its recorded injection points.
-        let already = state.arrivals_len();
+        let already = arrivals_total(&state);
         for entry in &loaded.entries[already.min(loaded.entries.len())..] {
-            reinject(&engine, &mut state, entry)?;
+            reinject(&fed, &mut state, entry)?;
         }
-        if state.arrivals_len() != loaded.entries.len() {
+        if arrivals_total(&state) != loaded.entries.len() {
             return Err(ServiceError::Diverged(format!(
                 "replay produced {} arrivals for {} WAL entries",
-                state.arrivals_len(),
+                arrivals_total(&state),
                 loaded.entries.len()
             )));
         }
@@ -204,7 +242,7 @@ impl<S: SlotSelector + Copy> Session<S> {
         }
         let wal = Wal::open_append(wal_path(data_dir))?;
         Ok(Session {
-            engine,
+            fed,
             state,
             manifest,
             store,
@@ -228,13 +266,14 @@ impl<S: SlotSelector + Copy> Session<S> {
         &self.manifest
     }
 
-    /// The live run state (read-only).
+    /// The live federated run state (read-only).
     #[must_use]
-    pub fn state(&self) -> &RunState {
+    pub fn state(&self) -> &FederationState {
         &self.state
     }
 
-    /// Virtual time the session has advanced to so far.
+    /// Virtual time the session has advanced to so far (the latest
+    /// merged-log tick).
     #[must_use]
     pub fn virtual_time(&self) -> i64 {
         self.state.last_time().ticks()
@@ -242,19 +281,20 @@ impl<S: SlotSelector + Copy> Session<S> {
 
     /// Wall-clock time until the next queued event is due, given the
     /// current virtual time and the pacing rate; zero when it is already
-    /// due, `None` when the queue is drained. The serve loop uses this
-    /// to sleep exactly as long as pacing allows instead of polling.
+    /// due, `None` when every shard's queue is drained. The serve loop
+    /// uses this to sleep exactly as long as pacing allows instead of
+    /// polling.
     #[must_use]
     pub fn next_event_in(&self, now: i64, ticks_per_sec: f64) -> Option<std::time::Duration> {
-        let next = self.state.next_event_time()?.ticks();
+        let next = self.state.next_time()?.ticks();
         let ticks = (next - now).max(0) as f64;
         Some(std::time::Duration::from_secs_f64(
             ticks / ticks_per_sec.max(1e-9),
         ))
     }
 
-    /// Admits and injects one submission at virtual time `now`. On
-    /// acceptance the entry is staged — it is durable (and may be
+    /// Admits, routes, and injects one submission at virtual time `now`.
+    /// On acceptance the entry is staged — it is durable (and may be
     /// acknowledged) only after the next [`Self::commit`].
     ///
     /// # Errors
@@ -265,9 +305,12 @@ impl<S: SlotSelector + Copy> Session<S> {
             self.rejected_total += 1;
             return Err(RejectReason::ShuttingDown);
         }
+        let markets: Vec<_> = (0..self.state.shard_count())
+            .map(|s| self.state.shard(s).vacant())
+            .collect();
         let view = MarketView {
             backlog: self.state.backlog() as u64,
-            vacant: self.state.vacant(),
+            markets: &markets,
             now,
             cycle_length: self.manifest.config.cycle_length,
             horizon: self.manifest.horizon(),
@@ -284,17 +327,31 @@ impl<S: SlotSelector + Copy> Session<S> {
                 return Err(reason);
             }
         };
-        let injected_after = self.state.events_processed() as u64;
-        let (job, time) = self
-            .engine
+        let injected_after = self.state.merged().len() as u64;
+        // With cross-shard co-allocation off (service invariant, see the
+        // manifest) routing cannot fail and always places on one shard.
+        let placed = self
+            .fed
             .submit(&mut self.state, request, TimePoint::new(now));
+        let (shard, job, time) = match placed {
+            Ok((_, Placement::Single { shard, job, time })) => (shard, job, time),
+            Ok((_, Placement::Cross(_))) | Err(_) => {
+                self.rejected_total += 1;
+                return Err(RejectReason::Malformed {
+                    detail: "internal routing failure (cross-shard placement in service mode)"
+                        .into(),
+                });
+            }
+        };
         self.staged.push(WalEntry {
+            shard,
             job,
             injected_after,
             time: time.ticks(),
             spec: *spec,
         });
         Ok(Ack {
+            shard,
             job,
             time: time.ticks(),
         })
@@ -314,6 +371,7 @@ impl<S: SlotSelector + Copy> Session<S> {
             .staged
             .drain(..)
             .map(|e| Ack {
+                shard: e.shard,
                 job: e.job,
                 time: e.time,
             })
@@ -322,12 +380,13 @@ impl<S: SlotSelector + Copy> Session<S> {
     }
 
     /// Processes every queued event at or before virtual time `target`,
-    /// taking cadence snapshots after cycle ticks. Commits first so no
-    /// snapshot can outrun the WAL. Returns snapshots taken.
+    /// taking cadence snapshots after shard 0's cycle ticks (each shard
+    /// ticks every cycle, so shard 0 is the cadence clock). Commits
+    /// first so no snapshot can outrun the WAL. Returns snapshots taken.
     ///
     /// # Errors
     ///
-    /// Engine or snapshot failures.
+    /// Federation or snapshot failures.
     pub fn advance_to(&mut self, target: i64) -> Result<u32, ServiceError> {
         if !self.staged.is_empty() {
             return Err(ServiceError::Diverged(
@@ -335,13 +394,16 @@ impl<S: SlotSelector + Copy> Session<S> {
             ));
         }
         let mut snapshots = 0u32;
-        while let Some(next) = self.state.next_event_time() {
+        while let Some(next) = self.state.next_time() {
             if next.ticks() > target {
                 break;
             }
-            let Some(entry) = self.engine.step(&mut self.state)? else {
+            let Some(entry) = self.fed.step(&mut self.state)? else {
                 break;
             };
+            if entry.shard != 0 {
+                continue;
+            }
             if let Event::CycleTick { cycle } = entry.event {
                 let every = self.manifest.snapshot_every_cycles;
                 if every > 0 && (cycle + 1) % every == 0 {
@@ -359,7 +421,7 @@ impl<S: SlotSelector + Copy> Session<S> {
     ///
     /// Snapshot write failures.
     pub fn snapshot(&mut self) -> Result<PathBuf, ServiceError> {
-        Ok(self.store.save(&self.engine.checkpoint(&self.state))?)
+        Ok(self.store.save(&self.fed.checkpoint(&self.state))?)
     }
 
     /// Commits, snapshots, and switches to draining: all later submits
@@ -376,45 +438,58 @@ impl<S: SlotSelector + Copy> Session<S> {
         Ok(acks)
     }
 
-    /// The status answer, with the log hash computed on demand.
+    /// The status answer, with the merged-log hash computed on demand.
     #[must_use]
     pub fn status(&self) -> DaemonStatus {
+        let arrivals = arrivals_total(&self.state) as u64;
+        let active_leases: usize = (0..self.state.shard_count())
+            .map(|s| self.state.shard(s).active_leases())
+            .sum();
         DaemonStatus {
             virtual_time: self.virtual_time(),
-            events_processed: self.state.events_processed() as u64,
-            arrivals: self.state.arrivals_len() as u64,
+            events_processed: self.state.merged().len() as u64,
+            arrivals,
             backlog: self.state.backlog() as u64,
-            active_leases: self.state.active_leases() as u64,
-            accepted_total: self.state.arrivals_len() as u64,
+            active_leases: active_leases as u64,
+            accepted_total: arrivals,
             rejected_total: self.rejected_total,
-            log_hash: self.state.log().fnv1a_hash(),
+            log_hash: self.state.merged().fnv1a_hash(),
         }
     }
 }
 
-/// Steps `state` to `entry`'s recorded injection point and re-injects
-/// it, checking the reconstruction matches the record.
+/// Externally injected arrivals across every shard — one per accepted
+/// submission, so also the count of WAL-recorded jobs in live state.
+pub(crate) fn arrivals_total(state: &FederationState) -> usize {
+    (0..state.shard_count())
+        .map(|s| state.shard(s).arrivals_len())
+        .sum()
+}
+
+/// Steps `state` to `entry`'s recorded merged-log injection point and
+/// replays its recorded routing decision, checking the reconstruction
+/// matches the record.
 pub(crate) fn reinject<S: SlotSelector + Copy>(
-    engine: &Engine<S>,
-    state: &mut RunState,
+    fed: &Federation<S>,
+    state: &mut FederationState,
     entry: &WalEntry,
 ) -> Result<(), ServiceError> {
-    while (state.events_processed() as u64) < entry.injected_after {
-        if engine.step(state)?.is_none() {
+    while (state.merged().len() as u64) < entry.injected_after {
+        if fed.step(state)?.is_none() {
             return Err(ServiceError::Diverged(format!(
-                "event queue drained at {} events, before WAL entry {}'s \
+                "merged log drained at {} events, before WAL entry {}'s \
                  injection point {}",
-                state.events_processed(),
+                state.merged().len(),
                 entry.job,
                 entry.injected_after
             )));
         }
     }
-    if state.events_processed() as u64 != entry.injected_after {
+    if state.merged().len() as u64 != entry.injected_after {
         return Err(ServiceError::Diverged(format!(
             "stepped past WAL entry {}'s injection point ({} > {})",
             entry.job,
-            state.events_processed(),
+            state.merged().len(),
             entry.injected_after
         )));
     }
@@ -422,12 +497,13 @@ pub(crate) fn reinject<S: SlotSelector + Copy>(
         .spec
         .to_request()
         .map_err(|e| ServiceError::Diverged(format!("WAL entry {}: {e}", entry.job)))?;
-    let (job, time) = engine.submit(state, request, TimePoint::new(entry.time));
+    let (job, time) = fed.submit_routed(state, entry.shard, request, TimePoint::new(entry.time))?;
     if job != entry.job || time.ticks() != entry.time {
         return Err(ServiceError::Diverged(format!(
-            "re-injection of WAL entry {} produced (job {job}, time {}), \
+            "re-injection of WAL entry {} on shard {} produced (job {job}, time {}), \
              recorded (job {}, time {})",
             entry.job,
+            entry.shard,
             time.ticks(),
             entry.job,
             entry.time

@@ -32,10 +32,16 @@ use crate::protocol::JobSpec;
 /// One accepted submission, as recorded before its ack.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WalEntry {
-    /// The engine job id assigned at injection (arrival-stream index).
+    /// The shard the router placed this job on. Recovery replays the
+    /// recorded decision verbatim instead of re-running the policy, so
+    /// the replayed run cannot diverge even if shard state during replay
+    /// transits orders the policy would decide differently on.
+    pub shard: u32,
+    /// The shard-local job id assigned at injection (the shard's
+    /// arrival-stream index).
     pub job: u32,
-    /// Events the engine had processed when this job was injected. The
-    /// replayer steps the engine to exactly this count before
+    /// Merged-log events the federation had processed when this job was
+    /// injected. The replayer steps to exactly this count before
     /// re-injecting, reproducing the live interleaving.
     pub injected_after: u64,
     /// The effective (clamped) virtual arrival time.
@@ -179,6 +185,7 @@ mod tests {
 
     fn entry(job: u32) -> WalEntry {
         WalEntry {
+            shard: job % 2,
             job,
             injected_after: u64::from(job) * 3,
             time: i64::from(job) * 7,

@@ -87,14 +87,14 @@ fn connect(endpoint: &Endpoint) -> Client {
 }
 
 /// Submits until `want` acks are recorded (retrying early market-empty
-/// rejections), returning the acked `(job, time)` pairs.
-fn submit_until(client: &mut Client, want: usize) -> Vec<(u32, i64)> {
+/// rejections), returning the acked `(shard, job, time)` triples.
+fn submit_until(client: &mut Client, want: usize) -> Vec<(u32, u32, i64)> {
     let mut acked = Vec::new();
     let deadline = Instant::now() + Duration::from_secs(10);
     while acked.len() < want {
         assert!(Instant::now() < deadline, "timed out collecting acks");
         match client.submit(easy_spec()) {
-            Ok(Response::Accepted { job, time }) => acked.push((job, time)),
+            Ok(Response::Accepted { shard, job, time }) => acked.push((shard, job, time)),
             Ok(Response::Rejected { .. }) => {
                 std::thread::sleep(Duration::from_millis(10));
             }
@@ -169,7 +169,7 @@ fn sigkill_under_load_never_loses_an_acked_job() {
     // Three crash-resume generations on one data directory, each killed
     // at a different point in the run (before the first cadence
     // snapshot, after it, and later still), each adding more load.
-    let mut all_acked: Vec<(u32, i64)> = Vec::new();
+    let mut all_acked: Vec<(u32, u32, i64)> = Vec::new();
     for (generation, kill_after_ms) in [300u64, 900, 1800].into_iter().enumerate() {
         let mut daemon = spawn_daemon(&data_dir, &socket);
         let endpoint = daemon.endpoint.clone();
@@ -190,7 +190,7 @@ fn sigkill_under_load_never_loses_an_acked_job() {
             let mut acked = Vec::new();
             loop {
                 match client.submit(easy_spec()) {
-                    Ok(Response::Accepted { job, time }) => acked.push((job, time)),
+                    Ok(Response::Accepted { shard, job, time }) => acked.push((shard, job, time)),
                     Ok(Response::Rejected { .. }) => {
                         std::thread::sleep(Duration::from_millis(5));
                     }
@@ -216,7 +216,11 @@ fn sigkill_under_load_never_loses_an_acked_job() {
     let mut daemon = spawn_daemon(&data_dir, &socket);
     let mut client = connect(&daemon.endpoint);
     let st = status(&mut client);
-    let highest = all_acked.iter().map(|&(job, _)| job).max().expect("acks");
+    let highest = all_acked
+        .iter()
+        .map(|&(_, job, _)| job)
+        .max()
+        .expect("acks");
     assert!(
         st.arrivals > u64::from(highest),
         "job {highest} was acked but only {} arrivals survived",

@@ -187,6 +187,56 @@ fn graceful_shutdown_then_reopen_is_clean_resume() {
 }
 
 #[test]
+fn sharded_session_routes_commits_and_crash_resumes_exactly() {
+    let dir = scratch_dir("sharded");
+    let sharded = ServiceManifest {
+        shards: 2,
+        route: ecosched_federation::RoutePolicy::RoundRobin,
+        ..ServiceManifest::default()
+    };
+    let (hash, acks) = {
+        let mut session = Session::open(&dir, sharded.clone(), Amp::new()).expect("sharded open");
+        session.advance_to(0).expect("advance");
+        let a = session.submit(&easy_spec(), 0).expect("accept 0");
+        let b = session.submit(&easy_spec(), 0).expect("accept 1");
+        // Round-robin spreads consecutive submissions; job ids are
+        // shard-local arrival indices, so both are job 0 on their shard.
+        assert_eq!((a.shard, a.job), (0, 0));
+        assert_eq!((b.shard, b.job), (1, 0));
+        session.commit().expect("commit");
+        let taken = session.advance_to(250).expect("advance");
+        assert!(taken > 0, "cadence snapshot expected before t=250");
+        let c = session.submit(&easy_spec(), 250).expect("accept 2");
+        assert_eq!((c.shard, c.job), (0, 1));
+        session.commit().expect("commit suffix");
+        (session.status().log_hash, vec![a, b, c])
+        // Dropped without shutdown: a crash after the acks.
+    };
+
+    let session = Session::open(&dir, sharded, Amp::new()).expect("reopen after crash");
+    match session.boot_mode() {
+        BootMode::Resumed { replayed, .. } => {
+            assert_eq!(*replayed, 1, "exactly the post-snapshot submission");
+        }
+        other => panic!("expected snapshot resume, got {other:?}"),
+    }
+    let status = session.status();
+    assert_eq!(
+        status.accepted_total,
+        acks.len() as u64,
+        "no acked job lost"
+    );
+    assert_eq!(
+        status.log_hash, hash,
+        "byte-identical merged log after sharded replay"
+    );
+
+    let report = verify_data_dir(&dir).expect("offline verification");
+    assert_eq!(report.wal_entries, 3);
+    assert_eq!(report.acked_in_snapshot, 2);
+}
+
+#[test]
 fn torn_wal_tail_loses_only_unacked_work() {
     let dir = scratch_dir("torn");
     {

@@ -17,6 +17,9 @@
 //!   the scheduling-iteration driver, and the metascheduler loop;
 //! * [`engine`] — the deterministic discrete-event engine driving the
 //!   pipeline online over a virtual clock;
+//! * [`federation`] — the sharded multi-VO superscheduler: routing
+//!   policies, two-phase cross-shard co-allocation, and deterministic
+//!   merged event logs over shard engines;
 //! * [`persist`] — checkpoint/restore containers, snapshot rotation,
 //!   and event-log replay;
 //! * [`service`] — the streaming-submission daemon (`ecosched-serve`),
@@ -69,6 +72,7 @@ pub use ecosched_baseline as baseline;
 pub use ecosched_core as core;
 pub use ecosched_engine as engine;
 pub use ecosched_experiments as experiments;
+pub use ecosched_federation as federation;
 pub use ecosched_optimize as optimize;
 pub use ecosched_persist as persist;
 pub use ecosched_select as select;
