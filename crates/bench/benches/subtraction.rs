@@ -31,7 +31,7 @@ fn bench_subtract_window(c: &mut Criterion) {
 
 fn bench_single_subtract(c: &mut Criterion) {
     let list = slot_list(1_000, 11);
-    let victim = list.as_slice()[500];
+    let victim = *list.iter().nth(500).unwrap();
     let cut = Span::new(victim.start(), victim.start() + (victim.length() / 2)).unwrap();
     c.bench_function("subtract_single_cut_m1000", |b| {
         b.iter(|| {

@@ -7,10 +7,21 @@
 //! and replaced by the remnants `K1 = [K.start, K'.start)` and
 //! `K2 = [K'.end, K.end)`, dropping zero-length pieces.
 //!
-//! The list carries an id index (`SlotId → start time`) so lookups and
-//! subtractions locate their slot with a hash probe plus a binary search on
-//! `(start, id)` instead of a linear scan — `O(log m)` per operation, which
-//! the incremental alternatives search in `ecosched-select` relies on.
+//! [`SlotList`] is a facade over two interchangeable representations:
+//!
+//! * **Flat** ([`MarketRepr::Flat`]): a start-ordered `Vec<Slot>` with an
+//!   id index and per-node start maps — `O(log m)` lookups but `O(m)`
+//!   memmove per splice. Retained as the differential oracle.
+//! * **Interval** ([`MarketRepr::Interval`]): per-node
+//!   [`IntervalSet`](crate::IntervalSet) timelines plus a global
+//!   `(start, id)`-ordered tree — every subtraction, carve, tail-return
+//!   insert, and coalesce merge is an `O(log m)` tree splice.
+//!
+//! The two representations are **observably identical** — same slots,
+//! same id minting order, same iteration order, same
+//! [`SubtractionReport`]s — so every consumer (selection, simulation,
+//! engine, persistence, federation) behaves bit-for-bit the same under
+//! either. `tests/interval_equivalence.rs` pins that equivalence.
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
@@ -18,10 +29,21 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use crate::error::CoreError;
+use crate::interval::IntervalMarket;
 use crate::resource::NodeId;
 use crate::slot::{Slot, SlotId};
 use crate::time::{Span, TimeDelta, TimePoint};
 use crate::window::Window;
+
+/// Which storage backs a [`SlotList`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MarketRepr {
+    /// Start-ordered vector with an id index (the historical layout, kept
+    /// as the differential oracle).
+    Flat,
+    /// Per-node interval timelines with a global ordered view.
+    Interval,
+}
 
 /// A list of vacant slots ordered by `(start time, slot id)`.
 ///
@@ -37,18 +59,23 @@ use crate::window::Window;
 /// assert_eq!(list.len(), 1);
 /// # Ok::<(), ecosched_core::CoreError>(())
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SlotList {
-    slots: Vec<Slot>,
-    next_id: u64,
-    /// Start time of each live slot, keyed by id: turns `get`/`subtract`
-    /// into a hash probe + binary search on the ordered vector.
-    index: HashMap<SlotId, TimePoint>,
-    /// Per-node view `start → id`. Same-node slots are disjoint, so the
-    /// start uniquely keys a slot within its node; this turns region
-    /// queries ([`SlotList::covering_slot`], [`SlotList::remove_region`])
-    /// into `O(log m)` range lookups instead of full scans.
-    node_starts: HashMap<NodeId, BTreeMap<TimePoint, SlotId>>,
+    repr: Repr,
+}
+
+#[derive(Debug, Clone)]
+enum Repr {
+    Flat(FlatStore),
+    Interval(IntervalMarket),
+}
+
+impl Default for SlotList {
+    fn default() -> Self {
+        SlotList {
+            repr: Repr::Flat(FlatStore::default()),
+        }
+    }
 }
 
 /// What one [`SlotList::subtract_window_report`] call did to the list:
@@ -65,13 +92,58 @@ pub struct SubtractionReport {
 }
 
 impl SlotList {
-    /// Creates an empty slot list.
+    /// Creates an empty slot list in the flat representation.
     #[must_use]
     pub fn new() -> Self {
         SlotList::default()
     }
 
-    /// Builds a list from arbitrary slots, sorting them by start time.
+    /// Creates an empty slot list in the given representation.
+    #[must_use]
+    pub fn new_with_repr(repr: MarketRepr) -> Self {
+        SlotList {
+            repr: match repr {
+                MarketRepr::Flat => Repr::Flat(FlatStore::default()),
+                MarketRepr::Interval => Repr::Interval(IntervalMarket::new()),
+            },
+        }
+    }
+
+    /// The representation currently backing this list.
+    #[must_use]
+    pub fn repr(&self) -> MarketRepr {
+        match &self.repr {
+            Repr::Flat(_) => MarketRepr::Flat,
+            Repr::Interval(_) => MarketRepr::Interval,
+        }
+    }
+
+    /// Converts the list to `repr`, preserving the observable state
+    /// exactly: the same slots and the same `next_id` (fresh mints after
+    /// a conversion produce the same ids they would have before it).
+    /// A no-op if the list is already in `repr`.
+    #[must_use]
+    pub fn with_repr(self, repr: MarketRepr) -> SlotList {
+        if self.repr() == repr {
+            return self;
+        }
+        let next_id = self.next_id();
+        match (self.repr, repr) {
+            (Repr::Flat(flat), MarketRepr::Interval) => SlotList {
+                repr: Repr::Interval(IntervalMarket::from_parts(flat.slots, next_id)),
+            },
+            (Repr::Interval(market), MarketRepr::Flat) => SlotList {
+                repr: Repr::Flat(FlatStore::from_parts(
+                    market.into_slots().collect(),
+                    next_id,
+                )),
+            },
+            (repr, _) => SlotList { repr },
+        }
+    }
+
+    /// Builds a flat-representation list from arbitrary slots, sorting
+    /// them by start time.
     ///
     /// # Errors
     ///
@@ -79,28 +151,22 @@ impl SlotList {
     /// [`CoreError::OverlappingSlots`] if two slots on the same node
     /// overlap in time.
     pub fn from_slots(slots: Vec<Slot>) -> Result<Self, CoreError> {
-        let mut list = SlotList {
-            next_id: slots.iter().map(|s| s.id().raw() + 1).max().unwrap_or(0),
-            index: HashMap::with_capacity(slots.len()),
-            node_starts: HashMap::new(),
-            slots,
-        };
-        list.slots.sort_by_key(|s| (s.start(), s.id()));
-        for slot in &list.slots {
-            if list.index.insert(slot.id(), slot.start()).is_some() {
-                return Err(CoreError::DuplicateSlotId { id: slot.id() });
-            }
-            list.node_starts
-                .entry(slot.node())
-                .or_default()
-                .insert(slot.start(), slot.id());
-        }
-        list.validate()?;
-        Ok(list)
+        FlatStore::from_slots(slots).map(|flat| SlotList {
+            repr: Repr::Flat(flat),
+        })
     }
 
-    /// Builds a list from slots already in strictly increasing `(start,
-    /// id)` order — the ROADMAP bulk-load path. One pass, `O(m)`: order,
+    /// [`SlotList::from_slots`], then converts to `repr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SlotList::from_slots`] errors.
+    pub fn from_slots_with_repr(slots: Vec<Slot>, repr: MarketRepr) -> Result<Self, CoreError> {
+        SlotList::from_slots(slots).map(|list| list.with_repr(repr))
+    }
+
+    /// Builds a flat list from slots already in strictly increasing
+    /// `(start, id)` order — the bulk-load path. One pass, `O(m)`: order,
     /// id uniqueness, and same-node disjointness are all checked as the
     /// slots stream in, with no sort and no quadratic overlap scan.
     ///
@@ -128,126 +194,111 @@ impl SlotList {
     /// assert!(SlotList::from_sorted_slots(vec![mk(0, 10, 50), mk(1, 0, 60)]).is_err());
     /// ```
     pub fn from_sorted_slots(slots: Vec<Slot>) -> Result<Self, CoreError> {
-        let mut index = HashMap::with_capacity(slots.len());
-        let mut node_starts: HashMap<NodeId, BTreeMap<TimePoint, SlotId>> = HashMap::new();
-        // Running max vacant end per node: starts are non-decreasing, so a
-        // new slot overlaps an earlier same-node slot iff it starts before
-        // the furthest end seen on that node.
-        let mut node_ends: HashMap<NodeId, (TimePoint, SlotId)> = HashMap::new();
-        let mut next_id = 0u64;
-        for (i, slot) in slots.iter().enumerate() {
-            if i > 0 {
-                let prev = &slots[i - 1];
-                if (prev.start(), prev.id()) >= (slot.start(), slot.id()) {
-                    return Err(CoreError::UnsortedSlots { index: i });
-                }
-            }
-            if index.insert(slot.id(), slot.start()).is_some() {
-                return Err(CoreError::DuplicateSlotId { id: slot.id() });
-            }
-            match node_ends.get_mut(&slot.node()) {
-                Some((end, first)) => {
-                    if slot.start() < *end {
-                        return Err(CoreError::OverlappingSlots {
-                            node: slot.node(),
-                            first: *first,
-                            second: slot.id(),
-                        });
-                    }
-                    if slot.end() > *end {
-                        *end = slot.end();
-                        *first = slot.id();
-                    }
-                }
-                None => {
-                    node_ends.insert(slot.node(), (slot.end(), slot.id()));
-                }
-            }
-            node_starts
-                .entry(slot.node())
-                .or_default()
-                .insert(slot.start(), slot.id());
-            next_id = next_id.max(slot.id().raw() + 1);
-        }
-        Ok(SlotList {
-            slots,
-            next_id,
-            index,
-            node_starts,
+        FlatStore::from_sorted_slots(slots).map(|flat| SlotList {
+            repr: Repr::Flat(flat),
         })
+    }
+
+    /// [`SlotList::from_sorted_slots`] targeting a specific
+    /// representation directly (no post-hoc conversion pass). Same
+    /// validation, same errors.
+    ///
+    /// # Errors
+    ///
+    /// As [`SlotList::from_sorted_slots`].
+    pub fn from_sorted_slots_with_repr(
+        slots: Vec<Slot>,
+        repr: MarketRepr,
+    ) -> Result<Self, CoreError> {
+        match repr {
+            MarketRepr::Flat => SlotList::from_sorted_slots(slots),
+            MarketRepr::Interval => IntervalMarket::from_sorted_slots(slots).map(|m| SlotList {
+                repr: Repr::Interval(m),
+            }),
+        }
+    }
+
+    fn next_id(&self) -> u64 {
+        match &self.repr {
+            Repr::Flat(flat) => flat.next_id,
+            Repr::Interval(market) => market.next_id(),
+        }
     }
 
     /// Mints a fresh slot id, unique within this list.
     pub fn mint_id(&mut self) -> SlotId {
-        let id = SlotId::new(self.next_id);
-        self.next_id += 1;
-        id
+        match &mut self.repr {
+            Repr::Flat(flat) => flat.mint_id(),
+            Repr::Interval(market) => market.mint_id(),
+        }
     }
 
     /// Inserts a slot, keeping the ordering invariant.
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::DuplicateSlotId`] if the id is already present.
-    /// Overlap against existing same-node slots is checked in debug builds.
+    /// Returns [`CoreError::DuplicateSlotId`] if the id is already
+    /// present. Overlap against existing same-node slots is checked in
+    /// debug builds (flat) or structurally (interval, where an
+    /// overlapping insert returns [`CoreError::OverlappingSlots`] instead
+    /// of corrupting the timeline).
     pub fn insert(&mut self, slot: Slot) -> Result<(), CoreError> {
-        if self.index.contains_key(&slot.id()) {
-            return Err(CoreError::DuplicateSlotId { id: slot.id() });
+        match &mut self.repr {
+            Repr::Flat(flat) => flat.insert(slot),
+            Repr::Interval(market) => market.insert(slot),
         }
-        debug_assert!(
-            self.slots
-                .iter()
-                .all(|s| s.node() != slot.node() || !s.span().overlaps(slot.span())),
-            "inserted slot overlaps an existing slot on the same node"
-        );
-        self.next_id = self.next_id.max(slot.id().raw() + 1);
-        let pos = self
-            .slots
-            .partition_point(|s| (s.start(), s.id()) < (slot.start(), slot.id()));
-        self.index.insert(slot.id(), slot.start());
-        self.node_starts
-            .entry(slot.node())
-            .or_default()
-            .insert(slot.start(), slot.id());
-        self.slots.insert(pos, slot);
-        Ok(())
     }
 
     /// Number of slots in the list.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.slots.len()
+        match &self.repr {
+            Repr::Flat(flat) => flat.slots.len(),
+            Repr::Interval(market) => market.len(),
+        }
     }
 
     /// Returns `true` if the list has no slots.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.len() == 0
     }
 
-    /// Iterates the slots in start-time order.
-    pub fn iter(&self) -> std::slice::Iter<'_, Slot> {
-        self.slots.iter()
+    /// Iterates the slots in `(start, id)` order.
+    pub fn iter(&self) -> SlotIter<'_> {
+        match &self.repr {
+            Repr::Flat(flat) => SlotIter::Flat(flat.slots.iter()),
+            Repr::Interval(market) => SlotIter::Interval(market.iter()),
+        }
     }
 
-    /// The slots in start-time order.
-    #[must_use]
-    pub fn as_slice(&self) -> &[Slot] {
-        &self.slots
-    }
-
-    /// Position of slot `id` in the ordered vector: a hash probe for its
-    /// start time, then a binary search on `(start, id)`.
-    fn position(&self, id: SlotId) -> Option<usize> {
-        let start = *self.index.get(&id)?;
-        let pos = self
-            .slots
-            .partition_point(|s| (s.start(), s.id()) < (start, id));
-        debug_assert!(
-            self.slots.get(pos).is_some_and(|s| s.id() == id),
-            "index start time out of sync with the ordered vector"
-        );
-        Some(pos)
+    /// Iterates, in `(start, id)` order, every slot with `start >= from`
+    /// — `O(log m)` to position, then `O(1)` per step. This replaces the
+    /// positional `first_at_or_after`/`as_slice` pair of the flat-only
+    /// era: scans walk boundaries, not vector indices.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ecosched_core::{NodeId, Perf, Price, Slot, SlotId, SlotList, Span, TimePoint};
+    ///
+    /// let mk = |id: u64, a: i64, b: i64| Slot::new(
+    ///     SlotId::new(id), NodeId::new(id as u32), Perf::UNIT,
+    ///     Price::from_credits(2),
+    ///     Span::new(TimePoint::new(a), TimePoint::new(b)).unwrap(),
+    /// ).unwrap();
+    /// let list = SlotList::from_slots(vec![mk(0, 0, 50), mk(1, 20, 60)]).unwrap();
+    /// assert_eq!(list.iter_from(TimePoint::new(10)).count(), 1);
+    /// assert_eq!(list.iter_from(TimePoint::new(100)).count(), 0);
+    /// ```
+    pub fn iter_from(&self, from: TimePoint) -> SlotIter<'_> {
+        match &self.repr {
+            Repr::Flat(flat) => {
+                let pos = flat.slots.partition_point(|s| s.start() < from);
+                SlotIter::Flat(flat.slots[pos..].iter())
+            }
+            Repr::Interval(market) => SlotIter::IntervalRange(market.range_from(from)),
+        }
     }
 
     /// Looks up a slot by id in `O(log m)` via the id index.
@@ -266,51 +317,41 @@ impl SlotList {
     /// ```
     #[must_use]
     pub fn get(&self, id: SlotId) -> Option<&Slot> {
-        self.position(id).map(|pos| &self.slots[pos])
+        match &self.repr {
+            Repr::Flat(flat) => flat.get(id),
+            Repr::Interval(market) => market.get(id),
+        }
     }
 
     /// Returns `true` if slot `id` is currently in the list (`O(1)`).
     #[must_use]
     pub fn contains(&self, id: SlotId) -> bool {
-        self.index.contains_key(&id)
-    }
-
-    /// Index of the first slot with `start >= from` in the ordered vector
-    /// (`O(log m)`). Everything before it starts earlier than `from`.
-    ///
-    /// # Examples
-    ///
-    /// ```
-    /// use ecosched_core::{NodeId, Perf, Price, Slot, SlotId, SlotList, Span, TimePoint};
-    ///
-    /// let mk = |id: u64, a: i64, b: i64| Slot::new(
-    ///     SlotId::new(id), NodeId::new(id as u32), Perf::UNIT,
-    ///     Price::from_credits(2),
-    ///     Span::new(TimePoint::new(a), TimePoint::new(b)).unwrap(),
-    /// ).unwrap();
-    /// let list = SlotList::from_slots(vec![mk(0, 0, 50), mk(1, 20, 60)]).unwrap();
-    /// assert_eq!(list.first_at_or_after(TimePoint::new(10)), 1);
-    /// assert_eq!(list.first_at_or_after(TimePoint::new(100)), 2);
-    /// ```
-    #[must_use]
-    pub fn first_at_or_after(&self, from: TimePoint) -> usize {
-        self.slots.partition_point(|s| s.start() < from)
+        match &self.repr {
+            Repr::Flat(flat) => flat.index.contains_key(&id),
+            Repr::Interval(market) => market.contains(id),
+        }
     }
 
     /// The earliest vacant start across the list, if any.
     #[must_use]
     pub fn earliest_start(&self) -> Option<TimePoint> {
-        self.slots.first().map(Slot::start)
+        match &self.repr {
+            Repr::Flat(flat) => flat.slots.first().map(Slot::start),
+            Repr::Interval(market) => market.earliest_start(),
+        }
     }
 
     /// Sum of all vacant span lengths.
     #[must_use]
     pub fn total_vacant_time(&self) -> TimeDelta {
-        self.slots.iter().map(Slot::length).sum()
+        match &self.repr {
+            Repr::Flat(flat) => flat.slots.iter().map(Slot::length).sum(),
+            Repr::Interval(market) => market.total_vacant_time(),
+        }
     }
 
     /// The slot on `node` whose vacant span fully contains `region`, if
-    /// one exists — `O(log m)` via the per-node start index.
+    /// one exists — `O(log m)` via the per-node structures.
     ///
     /// Same-node slots are disjoint, so at most one slot can cover the
     /// region: the last one starting at or before `region.start()`.
@@ -330,10 +371,10 @@ impl SlotList {
     /// ```
     #[must_use]
     pub fn covering_slot(&self, node: NodeId, region: Span) -> Option<&Slot> {
-        let starts = self.node_starts.get(&node)?;
-        let (_, &id) = starts.range(..=region.start()).next_back()?;
-        let slot = self.get(id)?;
-        slot.span().contains_span(region).then_some(slot)
+        match &self.repr {
+            Repr::Flat(flat) => flat.covering_slot(node, region),
+            Repr::Interval(market) => market.covering_slot(node, region),
+        }
     }
 
     /// Withdraws `region` from every slot on `node` it overlaps — the
@@ -342,34 +383,15 @@ impl SlotList {
     /// remnants for the surviving pieces. Returns the ids of the affected
     /// slots. `O((k + 1) log m)` for `k` affected slots.
     pub fn remove_region(&mut self, node: NodeId, region: Span) -> Vec<SlotId> {
-        let mut candidates: Vec<SlotId> = Vec::new();
-        if let Some(starts) = self.node_starts.get(&node) {
-            // The predecessor of the region start may reach into it; every
-            // slot starting inside the region overlaps it (spans are
-            // non-empty).
-            if let Some((_, &id)) = starts.range(..region.start()).next_back() {
-                candidates.push(id);
-            }
-            candidates.extend(
-                starts
-                    .range(region.start()..region.end())
-                    .map(|(_, &id)| id),
-            );
+        match &mut self.repr {
+            Repr::Flat(flat) => flat.remove_region(node, region),
+            Repr::Interval(market) => market.remove_region(node, region),
         }
-        let mut affected = Vec::new();
-        for id in candidates {
-            let slot = *self.get(id).expect("node index is in sync with the list");
-            if let Some(cut) = slot.span().intersect(region) {
-                self.subtract(id, cut)
-                    .expect("the intersection lies inside the slot");
-                affected.push(id);
-            }
-        }
-        affected
     }
 
     /// Removes the interval `cut` from the slot `id`, inserting remnants in
-    /// order (Fig. 1 (b)). Locating the slot is `O(log m)` via the index.
+    /// order (Fig. 1 (b)). Locating the slot is `O(log m)` via the index;
+    /// the splice itself is `O(m)` flat, `O(log m)` interval.
     ///
     /// # Errors
     ///
@@ -387,34 +409,10 @@ impl SlotList {
         cut: Span,
         remnants: &mut Vec<Slot>,
     ) -> Result<(), CoreError> {
-        let pos = self.position(id).ok_or(CoreError::SlotNotFound { id })?;
-        let slot = self.slots[pos];
-        if !slot.span().contains_span(cut) {
-            return Err(CoreError::CutOutsideSlot {
-                id,
-                slot_span: slot.span(),
-                cut,
-            });
+        match &mut self.repr {
+            Repr::Flat(flat) => flat.subtract_collect(id, cut, remnants),
+            Repr::Interval(market) => market.subtract_collect(id, cut, remnants),
         }
-        self.slots.remove(pos);
-        self.index.remove(&id);
-        if let Some(starts) = self.node_starts.get_mut(&slot.node()) {
-            starts.remove(&slot.start());
-            if starts.is_empty() {
-                self.node_starts.remove(&slot.node());
-            }
-        }
-        let (left, right) = slot.span().subtract(cut);
-        for remnant in [left, right].into_iter().flatten() {
-            let rid = self.mint_id();
-            let new_slot = slot
-                .with_span(rid, remnant)
-                .expect("non-empty remnant spans construct valid slots");
-            self.insert(new_slot)
-                .expect("freshly minted ids cannot collide");
-            remnants.push(new_slot);
-        }
-        Ok(())
     }
 
     /// Subtracts every member of a committed window from the list.
@@ -474,8 +472,477 @@ impl SlotList {
     /// Ids of absorbed slots are retired (never reused: `next_id` is
     /// untouched), surviving slots keep their ids and `(start, id)` order,
     /// and the union of vacant `(node, time)` capacity is exactly
-    /// preserved — only the partitioning changes.
+    /// preserved — only the partitioning changes. Both representations
+    /// make identical merge decisions; the interval form pays `O(n log n)`
+    /// tree updates instead of a full vector rebuild.
     pub fn coalesce(&mut self) -> usize {
+        match &mut self.repr {
+            Repr::Flat(flat) => flat.coalesce(),
+            Repr::Interval(market) => market.coalesce(),
+        }
+    }
+
+    /// Checks every structural invariant of the list, including that the
+    /// auxiliary structures match the canonical slot set. Cheap enough for
+    /// tests; not called on hot paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a [`CoreError`].
+    pub fn validate(&self) -> Result<(), CoreError> {
+        match &self.repr {
+            Repr::Flat(flat) => flat.validate(),
+            Repr::Interval(market) => market.validate(),
+        }
+    }
+}
+
+/// Borrowed iterator over a [`SlotList`]'s slots in `(start, id)` order,
+/// uniform across representations.
+#[derive(Debug, Clone)]
+pub enum SlotIter<'a> {
+    /// Walking the flat vector.
+    Flat(std::slice::Iter<'a, Slot>),
+    /// Walking the whole interval order tree.
+    Interval(std::collections::btree_map::Values<'a, (TimePoint, SlotId), Slot>),
+    /// Walking an interval order-tree suffix (from [`SlotList::iter_from`]).
+    IntervalRange(std::collections::btree_map::Range<'a, (TimePoint, SlotId), Slot>),
+}
+
+impl<'a> Iterator for SlotIter<'a> {
+    type Item = &'a Slot;
+
+    fn next(&mut self) -> Option<&'a Slot> {
+        match self {
+            SlotIter::Flat(it) => it.next(),
+            SlotIter::Interval(it) => it.next(),
+            SlotIter::IntervalRange(it) => it.next().map(|(_, slot)| slot),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            SlotIter::Flat(it) => it.size_hint(),
+            SlotIter::Interval(it) => it.size_hint(),
+            SlotIter::IntervalRange(it) => it.size_hint(),
+        }
+    }
+}
+
+impl DoubleEndedIterator for SlotIter<'_> {
+    fn next_back(&mut self) -> Option<Self::Item> {
+        match self {
+            SlotIter::Flat(it) => it.next_back(),
+            SlotIter::Interval(it) => it.next_back(),
+            SlotIter::IntervalRange(it) => it.next_back().map(|(_, slot)| slot),
+        }
+    }
+}
+
+/// Owning iterator over a [`SlotList`]'s slots in `(start, id)` order.
+#[derive(Debug)]
+pub enum SlotIntoIter {
+    /// Draining the flat vector.
+    Flat(std::vec::IntoIter<Slot>),
+    /// Draining the interval order tree.
+    Interval(std::collections::btree_map::IntoValues<(TimePoint, SlotId), Slot>),
+}
+
+impl Iterator for SlotIntoIter {
+    type Item = Slot;
+
+    fn next(&mut self) -> Option<Slot> {
+        match self {
+            SlotIntoIter::Flat(it) => it.next(),
+            SlotIntoIter::Interval(it) => it.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            SlotIntoIter::Flat(it) => it.size_hint(),
+            SlotIntoIter::Interval(it) => it.size_hint(),
+        }
+    }
+}
+
+impl PartialEq for SlotList {
+    fn eq(&self, other: &Self) -> bool {
+        // Observable equality: the slots and the minting cursor. The
+        // backing representation is an execution detail — a flat list and
+        // an interval list holding the same market compare equal.
+        self.next_id() == other.next_id()
+            && self.len() == other.len()
+            && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl Eq for SlotList {}
+
+// Manual serde. The flat representation keeps the wire format of the
+// pre-index list (`slots` + `next_id`); the interval representation
+// writes the per-node interval form behind a `repr` tag. Decoding
+// dispatches on the tag's presence, so legacy flat payloads (persist
+// format v1) load unchanged.
+impl Serialize for SlotList {
+    fn to_value(&self) -> serde::Value {
+        match &self.repr {
+            Repr::Flat(flat) => serde::Value::Map(vec![
+                ("slots".to_string(), flat.slots.to_value()),
+                ("next_id".to_string(), flat.next_id.to_value()),
+            ]),
+            Repr::Interval(market) => {
+                let nodes: Vec<serde::Value> = market
+                    .node_slots()
+                    .into_iter()
+                    .map(|(node, slots)| {
+                        serde::Value::Map(vec![
+                            ("node".to_string(), node.to_value()),
+                            ("slots".to_string(), slots.to_value()),
+                        ])
+                    })
+                    .collect();
+                serde::Value::Map(vec![
+                    ("repr".to_string(), "interval".to_string().to_value()),
+                    ("nodes".to_string(), serde::Value::Seq(nodes)),
+                    ("next_id".to_string(), market.next_id().to_value()),
+                ])
+            }
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for SlotList {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let tagged_interval = value
+            .as_map()
+            .and_then(|m| m.iter().find(|(k, _)| k == "repr"))
+            .is_some();
+        if !tagged_interval {
+            // Legacy flat payload: `{slots, next_id}`.
+            let slots = Vec::<Slot>::from_value(serde::get_field(value, "slots")?)?;
+            let next_id = u64::from_value(serde::get_field(value, "next_id")?)?;
+            let flat = FlatStore::rebuild(slots, next_id)?;
+            return Ok(SlotList {
+                repr: Repr::Flat(flat),
+            });
+        }
+        let repr = String::from_value(serde::get_field(value, "repr")?)?;
+        if repr != "interval" {
+            return Err(serde::Error::custom(format!(
+                "unknown slot list repr tag {repr:?}"
+            )));
+        }
+        let next_id = u64::from_value(serde::get_field(value, "next_id")?)?;
+        let nodes = serde::get_field(value, "nodes")?;
+        let serde::Value::Seq(nodes) = nodes else {
+            return Err(serde::Error::expected("sequence", nodes));
+        };
+        let mut all_slots: Vec<Slot> = Vec::new();
+        for entry in nodes {
+            let node = NodeId::from_value(serde::get_field(entry, "node")?)?;
+            let slots = Vec::<Slot>::from_value(serde::get_field(entry, "slots")?)?;
+            for slot in &slots {
+                if slot.node() != node {
+                    return Err(serde::Error::custom(format!(
+                        "slot {} filed under node {node} but belongs to {}",
+                        slot.id(),
+                        slot.node()
+                    )));
+                }
+            }
+            all_slots.extend(slots);
+        }
+        let market = IntervalMarket::from_parts(all_slots, next_id);
+        market.validate().map_err(|e| {
+            serde::Error::custom(format!("invalid serialized interval market: {e}"))
+        })?;
+        Ok(SlotList {
+            repr: Repr::Interval(market),
+        })
+    }
+}
+
+impl IntoIterator for SlotList {
+    type Item = Slot;
+    type IntoIter = SlotIntoIter;
+    fn into_iter(self) -> Self::IntoIter {
+        match self.repr {
+            Repr::Flat(flat) => SlotIntoIter::Flat(flat.slots.into_iter()),
+            Repr::Interval(market) => SlotIntoIter::Interval(market.into_slots()),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a SlotList {
+    type Item = &'a Slot;
+    type IntoIter = SlotIter<'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl fmt::Display for SlotList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "slot list ({} slots):", self.len())?;
+        for slot in self.iter() {
+            writeln!(f, "  {slot}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The flat representation: a `(start, id)`-ordered vector with an id
+/// index and per-node start maps. Retained as the differential oracle
+/// the interval representation is pinned against.
+#[derive(Debug, Clone, Default)]
+struct FlatStore {
+    slots: Vec<Slot>,
+    next_id: u64,
+    /// Start time of each live slot, keyed by id: turns `get`/`subtract`
+    /// into a hash probe + binary search on the ordered vector.
+    index: HashMap<SlotId, TimePoint>,
+    /// Per-node view `start → id`. Same-node slots are disjoint, so the
+    /// start uniquely keys a slot within its node; this turns region
+    /// queries into `O(log m)` range lookups instead of full scans.
+    node_starts: HashMap<NodeId, BTreeMap<TimePoint, SlotId>>,
+}
+
+impl FlatStore {
+    fn from_slots(slots: Vec<Slot>) -> Result<Self, CoreError> {
+        let mut list = FlatStore {
+            next_id: slots.iter().map(|s| s.id().raw() + 1).max().unwrap_or(0),
+            index: HashMap::with_capacity(slots.len()),
+            node_starts: HashMap::new(),
+            slots,
+        };
+        list.slots.sort_by_key(|s| (s.start(), s.id()));
+        for slot in &list.slots {
+            if list.index.insert(slot.id(), slot.start()).is_some() {
+                return Err(CoreError::DuplicateSlotId { id: slot.id() });
+            }
+            list.node_starts
+                .entry(slot.node())
+                .or_default()
+                .insert(slot.start(), slot.id());
+        }
+        list.validate()?;
+        Ok(list)
+    }
+
+    fn from_sorted_slots(slots: Vec<Slot>) -> Result<Self, CoreError> {
+        let mut index = HashMap::with_capacity(slots.len());
+        let mut node_starts: HashMap<NodeId, BTreeMap<TimePoint, SlotId>> = HashMap::new();
+        // Running max vacant end per node: starts are non-decreasing, so a
+        // new slot overlaps an earlier same-node slot iff it starts before
+        // the furthest end seen on that node.
+        let mut node_ends: HashMap<NodeId, (TimePoint, SlotId)> = HashMap::new();
+        let mut next_id = 0u64;
+        for (i, slot) in slots.iter().enumerate() {
+            if i > 0 {
+                let prev = &slots[i - 1];
+                if (prev.start(), prev.id()) >= (slot.start(), slot.id()) {
+                    return Err(CoreError::UnsortedSlots { index: i });
+                }
+            }
+            if index.insert(slot.id(), slot.start()).is_some() {
+                return Err(CoreError::DuplicateSlotId { id: slot.id() });
+            }
+            match node_ends.get_mut(&slot.node()) {
+                Some((end, first)) => {
+                    if slot.start() < *end {
+                        return Err(CoreError::OverlappingSlots {
+                            node: slot.node(),
+                            first: *first,
+                            second: slot.id(),
+                        });
+                    }
+                    if slot.end() > *end {
+                        *end = slot.end();
+                        *first = slot.id();
+                    }
+                }
+                None => {
+                    node_ends.insert(slot.node(), (slot.end(), slot.id()));
+                }
+            }
+            node_starts
+                .entry(slot.node())
+                .or_default()
+                .insert(slot.start(), slot.id());
+            next_id = next_id.max(slot.id().raw() + 1);
+        }
+        Ok(FlatStore {
+            slots,
+            next_id,
+            index,
+            node_starts,
+        })
+    }
+
+    /// Rebuilds from an in-order slot dump plus a trusted `next_id` — the
+    /// representation-conversion path, no revalidation beyond indexing.
+    fn from_parts(slots: Vec<Slot>, next_id: u64) -> Self {
+        let mut index = HashMap::with_capacity(slots.len());
+        let mut node_starts: HashMap<NodeId, BTreeMap<TimePoint, SlotId>> = HashMap::new();
+        for slot in &slots {
+            index.insert(slot.id(), slot.start());
+            node_starts
+                .entry(slot.node())
+                .or_default()
+                .insert(slot.start(), slot.id());
+        }
+        FlatStore {
+            slots,
+            next_id,
+            index,
+            node_starts,
+        }
+    }
+
+    /// Deserialization path: [`FlatStore::from_parts`] plus the duplicate
+    /// id check the legacy decoder always performed.
+    fn rebuild(slots: Vec<Slot>, next_id: u64) -> Result<Self, serde::Error> {
+        let mut index = HashMap::with_capacity(slots.len());
+        let mut node_starts: HashMap<NodeId, BTreeMap<TimePoint, SlotId>> = HashMap::new();
+        for slot in &slots {
+            if index.insert(slot.id(), slot.start()).is_some() {
+                return Err(serde::Error::custom(format!(
+                    "duplicate slot id {} in serialized slot list",
+                    slot.id()
+                )));
+            }
+            node_starts
+                .entry(slot.node())
+                .or_default()
+                .insert(slot.start(), slot.id());
+        }
+        Ok(FlatStore {
+            slots,
+            next_id,
+            index,
+            node_starts,
+        })
+    }
+
+    fn mint_id(&mut self) -> SlotId {
+        let id = SlotId::new(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    fn insert(&mut self, slot: Slot) -> Result<(), CoreError> {
+        if self.index.contains_key(&slot.id()) {
+            return Err(CoreError::DuplicateSlotId { id: slot.id() });
+        }
+        debug_assert!(
+            self.slots
+                .iter()
+                .all(|s| s.node() != slot.node() || !s.span().overlaps(slot.span())),
+            "inserted slot overlaps an existing slot on the same node"
+        );
+        self.next_id = self.next_id.max(slot.id().raw() + 1);
+        let pos = self
+            .slots
+            .partition_point(|s| (s.start(), s.id()) < (slot.start(), slot.id()));
+        self.index.insert(slot.id(), slot.start());
+        self.node_starts
+            .entry(slot.node())
+            .or_default()
+            .insert(slot.start(), slot.id());
+        self.slots.insert(pos, slot);
+        Ok(())
+    }
+
+    /// Position of slot `id` in the ordered vector: a hash probe for its
+    /// start time, then a binary search on `(start, id)`.
+    fn position(&self, id: SlotId) -> Option<usize> {
+        let start = *self.index.get(&id)?;
+        let pos = self
+            .slots
+            .partition_point(|s| (s.start(), s.id()) < (start, id));
+        debug_assert!(
+            self.slots.get(pos).is_some_and(|s| s.id() == id),
+            "index start time out of sync with the ordered vector"
+        );
+        Some(pos)
+    }
+
+    fn get(&self, id: SlotId) -> Option<&Slot> {
+        self.position(id).map(|pos| &self.slots[pos])
+    }
+
+    fn covering_slot(&self, node: NodeId, region: Span) -> Option<&Slot> {
+        let starts = self.node_starts.get(&node)?;
+        let (_, &id) = starts.range(..=region.start()).next_back()?;
+        let slot = self.get(id)?;
+        slot.span().contains_span(region).then_some(slot)
+    }
+
+    fn remove_region(&mut self, node: NodeId, region: Span) -> Vec<SlotId> {
+        let mut candidates: Vec<SlotId> = Vec::new();
+        if let Some(starts) = self.node_starts.get(&node) {
+            // The predecessor of the region start may reach into it; every
+            // slot starting inside the region overlaps it (spans are
+            // non-empty).
+            if let Some((_, &id)) = starts.range(..region.start()).next_back() {
+                candidates.push(id);
+            }
+            candidates.extend(
+                starts
+                    .range(region.start()..region.end())
+                    .map(|(_, &id)| id),
+            );
+        }
+        let mut affected = Vec::new();
+        for id in candidates {
+            let slot = *self.get(id).expect("node index is in sync with the list");
+            if let Some(cut) = slot.span().intersect(region) {
+                self.subtract_collect(id, cut, &mut Vec::new())
+                    .expect("the intersection lies inside the slot");
+                affected.push(id);
+            }
+        }
+        affected
+    }
+
+    fn subtract_collect(
+        &mut self,
+        id: SlotId,
+        cut: Span,
+        remnants: &mut Vec<Slot>,
+    ) -> Result<(), CoreError> {
+        let pos = self.position(id).ok_or(CoreError::SlotNotFound { id })?;
+        let slot = self.slots[pos];
+        if !slot.span().contains_span(cut) {
+            return Err(CoreError::CutOutsideSlot {
+                id,
+                slot_span: slot.span(),
+                cut,
+            });
+        }
+        self.slots.remove(pos);
+        self.index.remove(&id);
+        if let Some(starts) = self.node_starts.get_mut(&slot.node()) {
+            starts.remove(&slot.start());
+            if starts.is_empty() {
+                self.node_starts.remove(&slot.node());
+            }
+        }
+        let (left, right) = slot.span().subtract(cut);
+        for remnant in [left, right].into_iter().flatten() {
+            let rid = self.mint_id();
+            let new_slot = slot
+                .with_span(rid, remnant)
+                .expect("non-empty remnant spans construct valid slots");
+            self.insert(new_slot)
+                .expect("freshly minted ids cannot collide");
+            remnants.push(new_slot);
+        }
+        Ok(())
+    }
+
+    fn coalesce(&mut self) -> usize {
         use std::collections::HashSet;
         if self.slots.len() < 2 {
             return 0;
@@ -537,14 +1004,7 @@ impl SlotList {
         absorbed.len()
     }
 
-    /// Checks every structural invariant of the list, including that the id
-    /// index matches the ordered vector. Cheap enough for tests; not called
-    /// on hot paths.
-    ///
-    /// # Errors
-    ///
-    /// Returns the first violated invariant as a [`CoreError`].
-    pub fn validate(&self) -> Result<(), CoreError> {
+    fn validate(&self) -> Result<(), CoreError> {
         for pair in self.slots.windows(2) {
             if (pair[0].start(), pair[0].id()) >= (pair[1].start(), pair[1].id()) {
                 return Err(CoreError::DuplicateSlotId { id: pair[1].id() });
@@ -594,80 +1054,6 @@ impl SlotList {
     }
 }
 
-impl PartialEq for SlotList {
-    fn eq(&self, other: &Self) -> bool {
-        // The index is a function of `slots`; comparing it would be
-        // redundant work.
-        self.slots == other.slots && self.next_id == other.next_id
-    }
-}
-
-impl Eq for SlotList {}
-
-// Manual serde keeps the wire format of the pre-index list (`slots` +
-// `next_id`); the index is rebuilt on deserialization.
-impl Serialize for SlotList {
-    fn to_value(&self) -> serde::Value {
-        serde::Value::Map(vec![
-            ("slots".to_string(), self.slots.to_value()),
-            ("next_id".to_string(), self.next_id.to_value()),
-        ])
-    }
-}
-
-impl<'de> Deserialize<'de> for SlotList {
-    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
-        let slots = Vec::<Slot>::from_value(serde::get_field(value, "slots")?)?;
-        let next_id = u64::from_value(serde::get_field(value, "next_id")?)?;
-        let mut index = HashMap::with_capacity(slots.len());
-        let mut node_starts: HashMap<NodeId, BTreeMap<TimePoint, SlotId>> = HashMap::new();
-        for slot in &slots {
-            if index.insert(slot.id(), slot.start()).is_some() {
-                return Err(serde::Error::custom(format!(
-                    "duplicate slot id {} in serialized slot list",
-                    slot.id()
-                )));
-            }
-            node_starts
-                .entry(slot.node())
-                .or_default()
-                .insert(slot.start(), slot.id());
-        }
-        Ok(SlotList {
-            slots,
-            next_id,
-            index,
-            node_starts,
-        })
-    }
-}
-
-impl IntoIterator for SlotList {
-    type Item = Slot;
-    type IntoIter = std::vec::IntoIter<Slot>;
-    fn into_iter(self) -> Self::IntoIter {
-        self.slots.into_iter()
-    }
-}
-
-impl<'a> IntoIterator for &'a SlotList {
-    type Item = &'a Slot;
-    type IntoIter = std::slice::Iter<'a, Slot>;
-    fn into_iter(self) -> Self::IntoIter {
-        self.slots.iter()
-    }
-}
-
-impl fmt::Display for SlotList {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "slot list ({} slots):", self.len())?;
-        for slot in &self.slots {
-            writeln!(f, "  {slot}")?;
-        }
-        Ok(())
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -690,16 +1076,24 @@ mod tests {
         .unwrap()
     }
 
+    /// Runs a test body against both representations of the same initial
+    /// list, so every semantic assertion below pins flat and interval
+    /// behavior at once.
+    fn on_both_reprs(slots: Vec<Slot>, body: impl Fn(SlotList)) {
+        for repr in [MarketRepr::Flat, MarketRepr::Interval] {
+            body(SlotList::from_slots_with_repr(slots.clone(), repr).unwrap());
+        }
+    }
+
     #[test]
     fn from_slots_sorts_by_start() {
-        let list = SlotList::from_slots(vec![
-            slot(0, 0, 50, 80),
-            slot(1, 1, 10, 40),
-            slot(2, 2, 30, 90),
-        ])
-        .unwrap();
-        let starts: Vec<i64> = list.iter().map(|s| s.start().ticks()).collect();
-        assert_eq!(starts, vec![10, 30, 50]);
+        on_both_reprs(
+            vec![slot(0, 0, 50, 80), slot(1, 1, 10, 40), slot(2, 2, 30, 90)],
+            |list| {
+                let starts: Vec<i64> = list.iter().map(|s| s.start().ticks()).collect();
+                assert_eq!(starts, vec![10, 30, 50]);
+            },
+        );
     }
 
     #[test]
@@ -716,100 +1110,133 @@ mod tests {
 
     #[test]
     fn same_node_touching_slots_are_fine() {
-        let list = SlotList::from_slots(vec![slot(0, 5, 0, 50), slot(1, 5, 50, 90)]).unwrap();
-        assert_eq!(list.len(), 2);
+        on_both_reprs(vec![slot(0, 5, 0, 50), slot(1, 5, 50, 90)], |list| {
+            assert_eq!(list.len(), 2);
+            list.validate().unwrap();
+        });
     }
 
     #[test]
     fn insert_keeps_order_and_rejects_duplicates() {
-        let mut list = SlotList::from_slots(vec![slot(0, 0, 100, 200)]).unwrap();
-        list.insert(slot(10, 1, 50, 80)).unwrap();
-        assert_eq!(list.as_slice()[0].id(), SlotId::new(10));
+        on_both_reprs(vec![slot(0, 0, 100, 200)], |mut list| {
+            list.insert(slot(10, 1, 50, 80)).unwrap();
+            assert_eq!(list.iter().next().unwrap().id(), SlotId::new(10));
+            assert_eq!(
+                list.insert(slot(10, 2, 0, 10)).unwrap_err(),
+                CoreError::DuplicateSlotId {
+                    id: SlotId::new(10)
+                }
+            );
+        });
+    }
+
+    #[test]
+    fn interval_insert_rejects_overlap_structurally() {
+        let mut list =
+            SlotList::from_slots_with_repr(vec![slot(0, 5, 0, 50)], MarketRepr::Interval).unwrap();
+        let err = list.insert(slot(1, 5, 40, 90)).unwrap_err();
         assert_eq!(
-            list.insert(slot(10, 2, 0, 10)).unwrap_err(),
-            CoreError::DuplicateSlotId {
-                id: SlotId::new(10)
+            err,
+            CoreError::OverlappingSlots {
+                node: NodeId::new(5),
+                first: SlotId::new(0),
+                second: SlotId::new(1),
             }
         );
-    }
-
-    #[test]
-    fn minted_ids_never_collide_with_inserted() {
-        let mut list = SlotList::from_slots(vec![slot(41, 0, 0, 10)]).unwrap();
-        assert_eq!(list.mint_id(), SlotId::new(42));
-        list.insert(slot(100, 1, 0, 10)).unwrap();
-        assert_eq!(list.mint_id(), SlotId::new(101));
-    }
-
-    #[test]
-    fn indexed_get_matches_linear_lookup() {
-        // Several slots sharing start times so the binary search has to
-        // break ties on id.
-        let list = SlotList::from_slots(vec![
-            slot(5, 0, 10, 40),
-            slot(2, 1, 10, 50),
-            slot(9, 2, 10, 30),
-            slot(1, 3, 0, 20),
-            slot(7, 4, 25, 60),
-        ])
-        .unwrap();
-        for expected in list.as_slice() {
-            let found = list.get(expected.id()).expect("every id resolves");
-            assert_eq!(found, expected);
-            assert!(list.contains(expected.id()));
-        }
-        assert!(list.get(SlotId::new(1000)).is_none());
-        assert!(!list.contains(SlotId::new(1000)));
-    }
-
-    #[test]
-    fn first_at_or_after_brackets_the_list() {
-        let list = SlotList::from_slots(vec![
-            slot(0, 0, 10, 40),
-            slot(1, 1, 10, 50),
-            slot(2, 2, 30, 90),
-        ])
-        .unwrap();
-        assert_eq!(list.first_at_or_after(TimePoint::new(0)), 0);
-        assert_eq!(list.first_at_or_after(TimePoint::new(10)), 0);
-        assert_eq!(list.first_at_or_after(TimePoint::new(11)), 2);
-        assert_eq!(list.first_at_or_after(TimePoint::new(31)), 3);
-    }
-
-    #[test]
-    fn subtract_interior_produces_two_remnants() {
-        let mut list = SlotList::from_slots(vec![slot(0, 0, 0, 100)]).unwrap();
-        list.subtract(SlotId::new(0), span(30, 60)).unwrap();
-        assert_eq!(list.len(), 2);
-        let spans: Vec<Span> = list.iter().map(|s| s.span()).collect();
-        assert_eq!(spans, vec![span(0, 30), span(60, 100)]);
         list.validate().unwrap();
     }
 
     #[test]
-    fn subtract_prefix_keeps_right_remnant_only() {
-        let mut list = SlotList::from_slots(vec![slot(0, 0, 0, 100)]).unwrap();
-        list.subtract(SlotId::new(0), span(0, 100)).unwrap();
-        assert!(list.is_empty());
+    fn minted_ids_never_collide_with_inserted() {
+        on_both_reprs(vec![slot(41, 0, 0, 10)], |mut list| {
+            assert_eq!(list.mint_id(), SlotId::new(42));
+            list.insert(slot(100, 1, 0, 10)).unwrap();
+            assert_eq!(list.mint_id(), SlotId::new(101));
+        });
     }
 
     #[test]
-    fn subtract_missing_slot_errors() {
-        let mut list = SlotList::new();
-        assert_eq!(
-            list.subtract(SlotId::new(1), span(0, 10)).unwrap_err(),
-            CoreError::SlotNotFound { id: SlotId::new(1) }
+    fn indexed_get_matches_linear_lookup() {
+        // Several slots sharing start times so the lookups have to break
+        // ties on id.
+        on_both_reprs(
+            vec![
+                slot(5, 0, 10, 40),
+                slot(2, 1, 10, 50),
+                slot(9, 2, 10, 30),
+                slot(1, 3, 0, 20),
+                slot(7, 4, 25, 60),
+            ],
+            |list| {
+                let all: Vec<Slot> = list.iter().copied().collect();
+                for expected in &all {
+                    let found = list.get(expected.id()).expect("every id resolves");
+                    assert_eq!(found, expected);
+                    assert!(list.contains(expected.id()));
+                }
+                assert!(list.get(SlotId::new(1000)).is_none());
+                assert!(!list.contains(SlotId::new(1000)));
+            },
         );
     }
 
     #[test]
+    fn iter_from_brackets_the_list() {
+        on_both_reprs(
+            vec![slot(0, 0, 10, 40), slot(1, 1, 10, 50), slot(2, 2, 30, 90)],
+            |list| {
+                let ids_from = |t: i64| -> Vec<u64> {
+                    list.iter_from(TimePoint::new(t))
+                        .map(|s| s.id().raw())
+                        .collect()
+                };
+                assert_eq!(ids_from(0), vec![0, 1, 2]);
+                assert_eq!(ids_from(10), vec![0, 1, 2]);
+                assert_eq!(ids_from(11), vec![2]);
+                assert_eq!(ids_from(31), Vec::<u64>::new());
+            },
+        );
+    }
+
+    #[test]
+    fn subtract_interior_produces_two_remnants() {
+        on_both_reprs(vec![slot(0, 0, 0, 100)], |mut list| {
+            list.subtract(SlotId::new(0), span(30, 60)).unwrap();
+            assert_eq!(list.len(), 2);
+            let spans: Vec<Span> = list.iter().map(|s| s.span()).collect();
+            assert_eq!(spans, vec![span(0, 30), span(60, 100)]);
+            list.validate().unwrap();
+        });
+    }
+
+    #[test]
+    fn subtract_prefix_keeps_right_remnant_only() {
+        on_both_reprs(vec![slot(0, 0, 0, 100)], |mut list| {
+            list.subtract(SlotId::new(0), span(0, 100)).unwrap();
+            assert!(list.is_empty());
+        });
+    }
+
+    #[test]
+    fn subtract_missing_slot_errors() {
+        for repr in [MarketRepr::Flat, MarketRepr::Interval] {
+            let mut list = SlotList::new_with_repr(repr);
+            assert_eq!(
+                list.subtract(SlotId::new(1), span(0, 10)).unwrap_err(),
+                CoreError::SlotNotFound { id: SlotId::new(1) }
+            );
+        }
+    }
+
+    #[test]
     fn subtract_outside_cut_errors() {
-        let mut list = SlotList::from_slots(vec![slot(0, 0, 10, 20)]).unwrap();
-        let err = list.subtract(SlotId::new(0), span(15, 30)).unwrap_err();
-        assert!(matches!(err, CoreError::CutOutsideSlot { .. }));
-        // List unchanged.
-        assert_eq!(list.len(), 1);
-        assert_eq!(list.as_slice()[0].span(), span(10, 20));
+        on_both_reprs(vec![slot(0, 0, 10, 20)], |mut list| {
+            let err = list.subtract(SlotId::new(0), span(15, 30)).unwrap_err();
+            assert!(matches!(err, CoreError::CutOutsideSlot { .. }));
+            // List unchanged.
+            assert_eq!(list.len(), 1);
+            assert_eq!(list.iter().next().unwrap().span(), span(10, 20));
+        });
     }
 
     #[test]
@@ -817,20 +1244,21 @@ mod tests {
         use crate::window::{Window, WindowSlot};
         let a = slot(0, 0, 0, 100);
         let b = slot(1, 1, 0, 10); // too short for the cut below
-        let mut list = SlotList::from_slots(vec![a, b]).unwrap();
-        let w = Window::new(
-            TimePoint::new(0),
-            vec![
-                WindowSlot::from_slot(&a, TimeDelta::new(50)).unwrap(),
-                WindowSlot::from_slot(&b, TimeDelta::new(50)).unwrap(),
-            ],
-        )
-        .unwrap();
-        let err = list.subtract_window(&w).unwrap_err();
-        assert!(matches!(err, CoreError::CutOutsideSlot { .. }));
-        // Nothing was subtracted, including from slot `a`.
-        assert_eq!(list.len(), 2);
-        assert_eq!(list.get(SlotId::new(0)).unwrap().span(), span(0, 100));
+        on_both_reprs(vec![a, b], |mut list| {
+            let w = Window::new(
+                TimePoint::new(0),
+                vec![
+                    WindowSlot::from_slot(&a, TimeDelta::new(50)).unwrap(),
+                    WindowSlot::from_slot(&b, TimeDelta::new(50)).unwrap(),
+                ],
+            )
+            .unwrap();
+            let err = list.subtract_window(&w).unwrap_err();
+            assert!(matches!(err, CoreError::CutOutsideSlot { .. }));
+            // Nothing was subtracted, including from slot `a`.
+            assert_eq!(list.len(), 2);
+            assert_eq!(list.get(SlotId::new(0)).unwrap().span(), span(0, 100));
+        });
     }
 
     #[test]
@@ -838,21 +1266,22 @@ mod tests {
         use crate::window::{Window, WindowSlot};
         let a = slot(0, 0, 0, 100);
         let b = slot(1, 1, 0, 100);
-        let mut list = SlotList::from_slots(vec![a, b]).unwrap();
-        let w = Window::new(
-            TimePoint::new(0),
-            vec![
-                WindowSlot::from_slot(&a, TimeDelta::new(40)).unwrap(),
-                WindowSlot::from_slot(&b, TimeDelta::new(40)).unwrap(),
-            ],
-        )
-        .unwrap();
-        list.subtract_window(&w).unwrap();
-        assert_eq!(list.len(), 2);
-        for s in list.iter() {
-            assert_eq!(s.span(), span(40, 100));
-        }
-        list.validate().unwrap();
+        on_both_reprs(vec![a, b], |mut list| {
+            let w = Window::new(
+                TimePoint::new(0),
+                vec![
+                    WindowSlot::from_slot(&a, TimeDelta::new(40)).unwrap(),
+                    WindowSlot::from_slot(&b, TimeDelta::new(40)).unwrap(),
+                ],
+            )
+            .unwrap();
+            list.subtract_window(&w).unwrap();
+            assert_eq!(list.len(), 2);
+            for s in list.iter() {
+                assert_eq!(s.span(), span(40, 100));
+            }
+            list.validate().unwrap();
+        });
     }
 
     #[test]
@@ -860,30 +1289,32 @@ mod tests {
         use crate::window::{Window, WindowSlot};
         let a = slot(0, 0, 0, 100);
         let b = slot(1, 1, 20, 120);
-        let mut list = SlotList::from_slots(vec![a, b]).unwrap();
-        let w = Window::new(
-            TimePoint::new(20),
-            vec![
-                WindowSlot::from_slot(&a, TimeDelta::new(40)).unwrap(),
-                WindowSlot::from_slot(&b, TimeDelta::new(40)).unwrap(),
-            ],
-        )
-        .unwrap();
-        let report = list.subtract_window_report(&w).unwrap();
-        assert_eq!(report.removed, vec![SlotId::new(0), SlotId::new(1)]);
-        // a → [0, 20) and [60, 100); b → [60, 120).
-        assert_eq!(report.remnants.len(), 3);
-        for remnant in &report.remnants {
-            assert_eq!(list.get(remnant.id()), Some(remnant));
-        }
-        list.validate().unwrap();
+        on_both_reprs(vec![a, b], |mut list| {
+            let w = Window::new(
+                TimePoint::new(20),
+                vec![
+                    WindowSlot::from_slot(&a, TimeDelta::new(40)).unwrap(),
+                    WindowSlot::from_slot(&b, TimeDelta::new(40)).unwrap(),
+                ],
+            )
+            .unwrap();
+            let report = list.subtract_window_report(&w).unwrap();
+            assert_eq!(report.removed, vec![SlotId::new(0), SlotId::new(1)]);
+            // a → [0, 20) and [60, 100); b → [60, 120).
+            assert_eq!(report.remnants.len(), 3);
+            for remnant in &report.remnants {
+                assert_eq!(list.get(remnant.id()), Some(remnant));
+            }
+            list.validate().unwrap();
+        });
     }
 
     #[test]
     fn totals_and_earliest() {
-        let list = SlotList::from_slots(vec![slot(0, 0, 10, 40), slot(1, 1, 5, 25)]).unwrap();
-        assert_eq!(list.earliest_start(), Some(TimePoint::new(5)));
-        assert_eq!(list.total_vacant_time(), TimeDelta::new(50));
+        on_both_reprs(vec![slot(0, 0, 10, 40), slot(1, 1, 5, 25)], |list| {
+            assert_eq!(list.earliest_start(), Some(TimePoint::new(5)));
+            assert_eq!(list.total_vacant_time(), TimeDelta::new(50));
+        });
         assert!(SlotList::new().earliest_start().is_none());
     }
 
@@ -895,133 +1326,163 @@ mod tests {
             slot(9, 2, 10, 30),
             slot(7, 4, 25, 60),
         ];
-        let sorted = SlotList::from_sorted_slots(slots.clone()).unwrap();
-        let general = SlotList::from_slots(slots).unwrap();
-        assert_eq!(sorted, general);
-        sorted.validate().unwrap();
-        assert_eq!(sorted.next_id, general.next_id);
+        for repr in [MarketRepr::Flat, MarketRepr::Interval] {
+            let sorted = SlotList::from_sorted_slots_with_repr(slots.clone(), repr).unwrap();
+            let general = SlotList::from_slots(slots.clone()).unwrap();
+            assert_eq!(sorted, general);
+            sorted.validate().unwrap();
+            assert_eq!(sorted.next_id(), general.next_id());
+        }
     }
 
     #[test]
     fn from_sorted_slots_rejects_unsorted_input() {
-        // Out of start order.
-        let err =
-            SlotList::from_sorted_slots(vec![slot(0, 0, 10, 20), slot(1, 1, 0, 5)]).unwrap_err();
-        assert_eq!(err, CoreError::UnsortedSlots { index: 1 });
-        // Equal starts must come in increasing id order.
-        let err =
-            SlotList::from_sorted_slots(vec![slot(4, 0, 10, 20), slot(2, 1, 10, 20)]).unwrap_err();
-        assert_eq!(err, CoreError::UnsortedSlots { index: 1 });
+        for repr in [MarketRepr::Flat, MarketRepr::Interval] {
+            // Out of start order.
+            let err = SlotList::from_sorted_slots_with_repr(
+                vec![slot(0, 0, 10, 20), slot(1, 1, 0, 5)],
+                repr,
+            )
+            .unwrap_err();
+            assert_eq!(err, CoreError::UnsortedSlots { index: 1 });
+            // Equal starts must come in increasing id order.
+            let err = SlotList::from_sorted_slots_with_repr(
+                vec![slot(4, 0, 10, 20), slot(2, 1, 10, 20)],
+                repr,
+            )
+            .unwrap_err();
+            assert_eq!(err, CoreError::UnsortedSlots { index: 1 });
+        }
     }
 
     #[test]
     fn from_sorted_slots_rejects_same_node_overlap() {
         // The long first slot still overlaps the third even though the
         // second ends earlier — the running bound must track the max end.
-        let err = SlotList::from_sorted_slots(vec![
-            slot(0, 5, 0, 100),
-            slot(1, 6, 10, 20),
-            slot(2, 5, 30, 40),
-        ])
-        .unwrap_err();
-        assert!(matches!(err, CoreError::OverlappingSlots { node, .. } if node == NodeId::new(5)));
+        for repr in [MarketRepr::Flat, MarketRepr::Interval] {
+            let err = SlotList::from_sorted_slots_with_repr(
+                vec![slot(0, 5, 0, 100), slot(1, 6, 10, 20), slot(2, 5, 30, 40)],
+                repr,
+            )
+            .unwrap_err();
+            assert_eq!(
+                err,
+                CoreError::OverlappingSlots {
+                    node: NodeId::new(5),
+                    first: SlotId::new(0),
+                    second: SlotId::new(2),
+                }
+            );
+        }
     }
 
     #[test]
     fn from_sorted_slots_rejects_duplicate_ids() {
-        let err =
-            SlotList::from_sorted_slots(vec![slot(3, 0, 0, 10), slot(3, 1, 5, 15)]).unwrap_err();
-        assert_eq!(err, CoreError::DuplicateSlotId { id: SlotId::new(3) });
+        for repr in [MarketRepr::Flat, MarketRepr::Interval] {
+            let err = SlotList::from_sorted_slots_with_repr(
+                vec![slot(3, 0, 0, 10), slot(3, 1, 5, 15)],
+                repr,
+            )
+            .unwrap_err();
+            assert_eq!(err, CoreError::DuplicateSlotId { id: SlotId::new(3) });
+        }
     }
 
     #[test]
     fn covering_slot_finds_the_unique_container() {
-        let list = SlotList::from_slots(vec![
-            slot(0, 0, 0, 50),
-            slot(1, 0, 60, 100),
-            slot(2, 1, 0, 100),
-        ])
-        .unwrap();
-        let region = span(70, 90);
-        assert_eq!(
-            list.covering_slot(NodeId::new(0), region).map(Slot::id),
-            Some(SlotId::new(1))
+        on_both_reprs(
+            vec![slot(0, 0, 0, 50), slot(1, 0, 60, 100), slot(2, 1, 0, 100)],
+            |list| {
+                let region = span(70, 90);
+                assert_eq!(
+                    list.covering_slot(NodeId::new(0), region).map(Slot::id),
+                    Some(SlotId::new(1))
+                );
+                // A region straddling the gap is covered by nothing.
+                assert!(list.covering_slot(NodeId::new(0), span(40, 70)).is_none());
+                // Other nodes see their own slots only.
+                assert_eq!(
+                    list.covering_slot(NodeId::new(1), region).map(Slot::id),
+                    Some(SlotId::new(2))
+                );
+                assert!(list.covering_slot(NodeId::new(9), region).is_none());
+            },
         );
-        // A region straddling the gap is covered by nothing.
-        assert!(list.covering_slot(NodeId::new(0), span(40, 70)).is_none());
-        // Other nodes see their own slots only.
-        assert_eq!(
-            list.covering_slot(NodeId::new(1), region).map(Slot::id),
-            Some(SlotId::new(2))
-        );
-        assert!(list.covering_slot(NodeId::new(9), region).is_none());
     }
 
     #[test]
     fn covering_slot_tracks_subtraction() {
-        let mut list = SlotList::from_slots(vec![slot(0, 0, 0, 100)]).unwrap();
-        list.subtract(SlotId::new(0), span(40, 60)).unwrap();
-        assert!(list.covering_slot(NodeId::new(0), span(45, 55)).is_none());
-        let left = list.covering_slot(NodeId::new(0), span(10, 30)).unwrap();
-        assert_eq!(left.span(), span(0, 40));
-        let right = list.covering_slot(NodeId::new(0), span(70, 90)).unwrap();
-        assert_eq!(right.span(), span(60, 100));
+        on_both_reprs(vec![slot(0, 0, 0, 100)], |mut list| {
+            list.subtract(SlotId::new(0), span(40, 60)).unwrap();
+            assert!(list.covering_slot(NodeId::new(0), span(45, 55)).is_none());
+            let left = list.covering_slot(NodeId::new(0), span(10, 30)).unwrap();
+            assert_eq!(left.span(), span(0, 40));
+            let right = list.covering_slot(NodeId::new(0), span(70, 90)).unwrap();
+            assert_eq!(right.span(), span(60, 100));
+        });
     }
 
     #[test]
     fn remove_region_carves_every_overlapping_slot() {
-        let mut list = SlotList::from_slots(vec![
-            slot(0, 0, 0, 30),
-            slot(1, 0, 40, 70),
-            slot(2, 0, 80, 120),
-            slot(3, 1, 0, 120), // other node, untouched
-        ])
-        .unwrap();
-        let affected = list.remove_region(NodeId::new(0), span(20, 90));
-        assert_eq!(
-            affected,
-            vec![SlotId::new(0), SlotId::new(1), SlotId::new(2)]
+        on_both_reprs(
+            vec![
+                slot(0, 0, 0, 30),
+                slot(1, 0, 40, 70),
+                slot(2, 0, 80, 120),
+                slot(3, 1, 0, 120), // other node, untouched
+            ],
+            |mut list| {
+                let affected = list.remove_region(NodeId::new(0), span(20, 90));
+                assert_eq!(
+                    affected,
+                    vec![SlotId::new(0), SlotId::new(1), SlotId::new(2)]
+                );
+                list.validate().unwrap();
+                let node0: Vec<Span> = list
+                    .iter()
+                    .filter(|s| s.node() == NodeId::new(0))
+                    .map(|s| s.span())
+                    .collect();
+                assert_eq!(node0, vec![span(0, 20), span(90, 120)]);
+                assert_eq!(list.get(SlotId::new(3)).unwrap().span(), span(0, 120));
+            },
         );
-        list.validate().unwrap();
-        let node0: Vec<Span> = list
-            .iter()
-            .filter(|s| s.node() == NodeId::new(0))
-            .map(|s| s.span())
-            .collect();
-        assert_eq!(node0, vec![span(0, 20), span(90, 120)]);
-        assert_eq!(list.get(SlotId::new(3)).unwrap().span(), span(0, 120));
     }
 
     #[test]
     fn remove_region_misses_cleanly() {
-        let mut list = SlotList::from_slots(vec![slot(0, 0, 0, 30)]).unwrap();
-        assert!(list.remove_region(NodeId::new(0), span(30, 50)).is_empty());
-        assert!(list.remove_region(NodeId::new(7), span(0, 50)).is_empty());
-        assert_eq!(list.len(), 1);
+        on_both_reprs(vec![slot(0, 0, 0, 30)], |mut list| {
+            assert!(list.remove_region(NodeId::new(0), span(30, 50)).is_empty());
+            assert!(list.remove_region(NodeId::new(7), span(0, 50)).is_empty());
+            assert_eq!(list.len(), 1);
+        });
     }
 
     #[test]
     fn coalesce_merges_touching_same_attribute_runs() {
-        let mut list = SlotList::from_slots(vec![
-            slot(0, 0, 0, 30),
-            slot(1, 0, 30, 60),
-            slot(2, 0, 60, 100),
-            slot(3, 1, 0, 50), // other node: left alone
-        ])
-        .unwrap();
-        let before = list.total_vacant_time();
-        assert_eq!(list.coalesce(), 2);
-        list.validate().unwrap();
-        assert_eq!(list.len(), 2);
-        // The run head keeps its id and absorbs the whole run.
-        let merged = list.get(SlotId::new(0)).unwrap();
-        assert_eq!(merged.span(), span(0, 100));
-        assert_eq!(list.total_vacant_time(), before);
-        assert!(list.get(SlotId::new(1)).is_none());
-        assert!(list.get(SlotId::new(2)).is_none());
-        assert_eq!(list.get(SlotId::new(3)).unwrap().span(), span(0, 50));
-        // Idempotent: a second pass finds nothing.
-        assert_eq!(list.coalesce(), 0);
+        on_both_reprs(
+            vec![
+                slot(0, 0, 0, 30),
+                slot(1, 0, 30, 60),
+                slot(2, 0, 60, 100),
+                slot(3, 1, 0, 50), // other node: left alone
+            ],
+            |mut list| {
+                let before = list.total_vacant_time();
+                assert_eq!(list.coalesce(), 2);
+                list.validate().unwrap();
+                assert_eq!(list.len(), 2);
+                // The run head keeps its id and absorbs the whole run.
+                let merged = list.get(SlotId::new(0)).unwrap();
+                assert_eq!(merged.span(), span(0, 100));
+                assert_eq!(list.total_vacant_time(), before);
+                assert!(list.get(SlotId::new(1)).is_none());
+                assert!(list.get(SlotId::new(2)).is_none());
+                assert_eq!(list.get(SlotId::new(3)).unwrap().span(), span(0, 50));
+                // Idempotent: a second pass finds nothing.
+                assert_eq!(list.coalesce(), 0);
+            },
+        );
     }
 
     #[test]
@@ -1044,25 +1505,97 @@ mod tests {
         )
         .unwrap();
         let gapped = slot(3, 0, 95, 120);
-        let mut list = SlotList::from_slots(vec![cheap, pricey, fast, gapped]).unwrap();
-        assert_eq!(list.coalesce(), 0);
-        assert_eq!(list.len(), 4);
-        list.validate().unwrap();
+        on_both_reprs(vec![cheap, pricey, fast, gapped], |mut list| {
+            assert_eq!(list.coalesce(), 0);
+            assert_eq!(list.len(), 4);
+            list.validate().unwrap();
+        });
     }
 
     #[test]
     fn coalesce_never_reuses_retired_ids() {
-        let mut list = SlotList::from_slots(vec![slot(0, 0, 0, 30), slot(1, 0, 30, 60)]).unwrap();
-        assert_eq!(list.coalesce(), 1);
-        // Id 1 is retired, not recycled: fresh mints start past it.
-        assert_eq!(list.mint_id(), SlotId::new(2));
+        on_both_reprs(vec![slot(0, 0, 0, 30), slot(1, 0, 30, 60)], |mut list| {
+            assert_eq!(list.coalesce(), 1);
+            // Id 1 is retired, not recycled: fresh mints start past it.
+            assert_eq!(list.mint_id(), SlotId::new(2));
+        });
     }
 
     #[test]
     fn iteration_conveniences() {
-        let list = SlotList::from_slots(vec![slot(0, 0, 10, 40)]).unwrap();
-        assert_eq!((&list).into_iter().count(), 1);
-        assert_eq!(list.clone().into_iter().count(), 1);
-        assert!(format!("{list}").contains("1 slots"));
+        on_both_reprs(vec![slot(0, 0, 10, 40)], |list| {
+            assert_eq!((&list).into_iter().count(), 1);
+            assert_eq!(list.clone().into_iter().count(), 1);
+            assert!(format!("{list}").contains("1 slots"));
+        });
+    }
+
+    #[test]
+    fn repr_conversion_round_trips_and_compares_equal() {
+        let slots = vec![
+            slot(1, 3, 0, 20),
+            slot(5, 0, 10, 40),
+            slot(9, 2, 10, 30),
+            slot(7, 0, 55, 60),
+        ];
+        let mut flat = SlotList::from_slots(slots).unwrap();
+        flat.mint_id(); // push next_id past max(id)+1
+        let interval = flat.clone().with_repr(MarketRepr::Interval);
+        assert_eq!(interval.repr(), MarketRepr::Interval);
+        interval.validate().unwrap();
+        assert_eq!(flat, interval, "conversion preserves observable state");
+        let back = interval.clone().with_repr(MarketRepr::Flat);
+        back.validate().unwrap();
+        assert_eq!(back, flat);
+        assert_eq!(back.next_id(), flat.next_id(), "minting cursor preserved");
+        // Same-repr conversion is the identity.
+        assert_eq!(flat.clone().with_repr(MarketRepr::Flat), flat);
+    }
+
+    #[test]
+    fn serde_round_trips_both_reprs() {
+        let slots = vec![slot(0, 0, 0, 30), slot(1, 1, 10, 60), slot(2, 0, 40, 90)];
+        for repr in [MarketRepr::Flat, MarketRepr::Interval] {
+            let list = SlotList::from_slots_with_repr(slots.clone(), repr).unwrap();
+            let value = list.to_value();
+            let back = SlotList::from_value(&value).unwrap();
+            assert_eq!(back.repr(), repr, "repr survives the wire");
+            assert_eq!(back, list);
+            back.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn serde_flat_wire_format_is_unchanged() {
+        // The flat payload must stay exactly `{slots, next_id}` so persist
+        // format v1 snapshots keep decoding.
+        let list = SlotList::from_slots(vec![slot(0, 0, 0, 30)]).unwrap();
+        let value = list.to_value();
+        let keys: Vec<&str> = value
+            .as_map()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, vec!["slots", "next_id"]);
+    }
+
+    #[test]
+    fn serde_rejects_corrupt_interval_payload() {
+        let list = SlotList::from_slots_with_repr(
+            vec![slot(0, 0, 0, 30), slot(1, 0, 30, 60)],
+            MarketRepr::Interval,
+        )
+        .unwrap();
+        let serde::Value::Map(mut fields) = list.to_value() else {
+            panic!("interval form serializes as a map");
+        };
+        // Tamper: claim an unknown repr tag.
+        for (k, v) in &mut fields {
+            if k == "repr" {
+                *v = serde::Value::Str("hyperbolic".to_string());
+            }
+        }
+        assert!(SlotList::from_value(&serde::Value::Map(fields)).is_err());
     }
 }

@@ -85,7 +85,8 @@ proptest! {
         frac_len in 0.01f64..1.0,
     ) {
         let mut list = list;
-        let slot = *pick.get(list.as_slice());
+        let slots: Vec<Slot> = list.iter().copied().collect();
+        let slot = *pick.get(&slots);
         let len = slot.length().ticks();
         let cut_start = slot.start().ticks() + (frac_start * (len - 1) as f64) as i64;
         let max_len = slot.end().ticks() - cut_start;
@@ -191,7 +192,8 @@ proptest! {
             if list.is_empty() {
                 break;
             }
-            let slot = *pick.get(list.as_slice());
+            let slots: Vec<Slot> = list.iter().copied().collect();
+            let slot = *pick.get(&slots);
             let len = slot.length().ticks();
 
             if use_window {

@@ -36,8 +36,8 @@
 use std::collections::BTreeMap;
 
 use ecosched_core::{
-    Batch, Job, JobId, Lease, NodeId, ResourceRequest, Revocation, Slot, SlotList, Span, TimeDelta,
-    TimePoint, Window,
+    Batch, Job, JobId, Lease, MarketRepr, NodeId, ResourceRequest, Revocation, Slot, SlotList,
+    Span, TimeDelta, TimePoint, Window,
 };
 use ecosched_optimize::IncrementalOptimizer;
 use ecosched_select::{repair_search, try_adopt_window, RepairError, ScanStats, SlotSelector};
@@ -421,6 +421,17 @@ impl<S: SlotSelector + Copy> Engine<S> {
         &self.config
     }
 
+    /// The market representation this engine runs with — interval
+    /// timelines unless `interval_market` is switched off for an A/B run.
+    #[must_use]
+    pub fn market_repr(&self) -> MarketRepr {
+        if self.config.interval_market {
+            MarketRepr::Interval
+        } else {
+            MarketRepr::Flat
+        }
+    }
+
     /// FNV-1a 64 fingerprint of the configuration and selector name.
     ///
     /// Checkpoints carry this value; [`Self::resume`] refuses a
@@ -430,6 +441,8 @@ impl<S: SlotSelector + Copy> Engine<S> {
     /// `threads` is normalized to 1 before hashing: the worker-thread
     /// budget never changes an outcome, so a checkpoint captured on one
     /// machine must replay on another with a different thread count.
+    /// `interval_market` never reaches the hash at all — the
+    /// representation flag is absent from the serialized configuration.
     #[must_use]
     pub fn config_fingerprint(&self) -> u64 {
         let mut normalized = self.config.clone();
@@ -488,7 +501,7 @@ impl<S: SlotSelector + Copy> Engine<S> {
             arrivals,
             slot_gen: SlotGenerator::new(self.config.slot_gen),
             revocation: RevocationModel::new(self.config.revocation),
-            vacant: SlotList::new(),
+            vacant: SlotList::new_with_repr(self.market_repr()),
             next_node: 0,
             pending: Vec::new(),
             leases: BTreeMap::new(),
@@ -688,7 +701,10 @@ impl<S: SlotSelector + Copy> Engine<S> {
                 .collect(),
             slot_gen: SlotGenerator::new(self.config.slot_gen),
             revocation: RevocationModel::new(self.config.revocation),
-            vacant: checkpoint.vacant.clone(),
+            // A checkpoint may carry either market representation; the
+            // resumed run uses the one this engine is configured for
+            // (the conversion is observable-state-preserving).
+            vacant: checkpoint.vacant.clone().with_repr(self.market_repr()),
             next_node: checkpoint.next_node,
             pending: checkpoint
                 .pending
@@ -1255,7 +1271,7 @@ impl<S: SlotSelector + Copy> Engine<S> {
 
                 // Unused tails (members faster than the elapsed run, or
                 // the completion-fraction shortfall) return to the
-                // vacant list via a sorted merge.
+                // vacant list as ordinary inserts.
                 let mut tails: Vec<Slot> = Vec::new();
                 for ws in al.window.slots() {
                     state.busy_ticks += ws.runtime().ticks().min(run);
@@ -1272,10 +1288,10 @@ impl<S: SlotSelector + Copy> Engine<S> {
                         );
                     }
                 }
-                if !tails.is_empty() {
-                    let mut merged: Vec<Slot> = state.vacant.iter().copied().chain(tails).collect();
-                    merged.sort_by_key(|s| (s.start(), s.id()));
-                    state.vacant = SlotList::from_sorted_slots(merged)
+                for tail in tails {
+                    state
+                        .vacant
+                        .insert(tail)
                         .expect("returned tails are disjoint from the vacant list");
                 }
             }
@@ -1390,7 +1406,7 @@ struct ActiveLeaseSeed {
 /// to `[now, end)`, dropping fully elapsed ones. Ids are preserved, so the
 /// clipped slots stay in strictly increasing `(start, id)` order after the
 /// sort and the `O(m)` [`SlotList::from_sorted_slots`] constructor
-/// applies.
+/// applies. The snapshot keeps the live list's representation.
 fn clip_to_now(vacant: &SlotList, now: TimePoint) -> SlotList {
     let mut clipped: Vec<Slot> = Vec::with_capacity(vacant.len());
     for s in vacant.iter() {
@@ -1408,7 +1424,8 @@ fn clip_to_now(vacant: &SlotList, now: TimePoint) -> SlotList {
         }
     }
     clipped.sort_by_key(|s| (s.start(), s.id()));
-    SlotList::from_sorted_slots(clipped).expect("clipping preserves disjointness and unique ids")
+    SlotList::from_sorted_slots_with_repr(clipped, vacant.repr())
+        .expect("clipping preserves disjointness and unique ids")
 }
 
 /// Returns the surviving fragments of a revoked window — everything the

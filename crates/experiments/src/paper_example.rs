@@ -129,7 +129,7 @@ mod tests {
         assert_eq!(example.batch.len(), 3);
         example.list.validate().unwrap();
         // cpu6 is the expensive full-horizon line.
-        let s0 = &example.list.as_slice()[0];
+        let s0 = example.list.iter().next().unwrap();
         assert_eq!(s0.node(), NodeId::new(6));
         assert_eq!(s0.price(), Price::from_credits(12));
         assert_eq!(s0.length(), TimeDelta::new(600));

@@ -26,8 +26,22 @@ use ecosched_engine::event::fnv1a_64;
 /// The magic bytes every snapshot file starts with.
 pub const MAGIC: [u8; 8] = *b"ECOSNAP\0";
 
-/// The container format version this build writes and accepts.
-pub const FORMAT_VERSION: u32 = 1;
+/// The container format version this build writes.
+///
+/// Version history:
+/// * **1** — original container; the checkpoint's vacant market always
+///   serialized in the flat `{slots, next_id}` form.
+/// * **2** — the vacant market may serialize in the tagged per-node
+///   interval form (`{"repr": "interval", …}`). The container layout is
+///   unchanged; the bump marks the payload schema extension.
+///
+/// Decoding accepts any version in [`MIN_FORMAT_VERSION`]`..=`
+/// [`FORMAT_VERSION`]: a v1 snapshot (flat market) decodes under this
+/// build and resumes into either market representation.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// The oldest container format version this build still decodes.
+pub const MIN_FORMAT_VERSION: u32 = 1;
 
 /// A four-byte ASCII section tag.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -191,7 +205,7 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<(SectionTag, Vec<u8>)>, PersistError> 
         return Err(PersistError::BadMagic);
     }
     let version = u32::from_le_bytes(take(bytes, &mut at)?);
-    if version != FORMAT_VERSION {
+    if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
         return Err(PersistError::UnsupportedVersion {
             found: version,
             supported: FORMAT_VERSION,

@@ -47,7 +47,9 @@ pub use federated::{
     FederatedSnapshotStore, LatestFederatedSnapshot, SkippedFederatedSnapshot,
     FED_CHECKPOINT_SECTION, FED_META_SECTION,
 };
-pub use format::{decode, encode, PersistError, SectionTag, FORMAT_VERSION, MAGIC};
+pub use format::{
+    decode, encode, PersistError, SectionTag, FORMAT_VERSION, MAGIC, MIN_FORMAT_VERSION,
+};
 pub use replay::{
     resume_and_replay, resume_from, run_to_completion, run_with_snapshots, ReplayError,
 };

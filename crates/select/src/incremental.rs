@@ -461,29 +461,30 @@ impl JobScan {
         if self.dead {
             return None;
         }
-        let from = match self.anchor {
+        let mut slots = match self.anchor {
             Some(anchor) => {
                 stats.checkpoint_hits += 1;
-                list.first_at_or_after(anchor)
+                list.iter_from(anchor)
             }
-            None => 0,
-        };
-        let slots = list.as_slice();
+            None => list.iter(),
+        }
+        .peekable();
         let n = self.request.nodes();
         let mut group: Vec<PoolMember> = Vec::new();
-        let mut i = from;
-        while i < slots.len() {
-            let anchor = slots[i].start();
+        while let Some(first) = slots.next() {
+            let anchor = first.start();
             group.clear();
-            while i < slots.len() && slots[i].start() == anchor {
-                let slot = &slots[i];
-                i += 1;
+            let mut slot = first;
+            loop {
                 stats.slots_examined += 1;
-                if !self.filter_ok(slot) {
-                    continue;
+                if self.filter_ok(slot) {
+                    if let Some(member) = admit_slot(&self.request, self.rule, slot) {
+                        group.push(member);
+                    }
                 }
-                if let Some(member) = admit_slot(&self.request, self.rule, slot) {
-                    group.push(member);
+                match slots.next_if(|s| s.start() == anchor) {
+                    Some(next) => slot = next,
+                    None => break,
                 }
             }
             if group.is_empty() {

@@ -57,9 +57,9 @@ impl SlotListProfile {
         let same_start_share = if n < 2 {
             0.0
         } else {
-            list.as_slice()
-                .windows(2)
-                .filter(|w| w[0].start() == w[1].start())
+            list.iter()
+                .zip(list.iter().skip(1))
+                .filter(|(a, b)| a.start() == b.start())
                 .count() as f64
                 / (n - 1) as f64
         };

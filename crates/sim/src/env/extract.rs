@@ -105,9 +105,9 @@ mod tests {
     #[test]
     fn ids_follow_start_order() {
         let (_, _, list) = setup(6);
-        for pair in list.as_slice().windows(2) {
+        for (a, b) in list.iter().zip(list.iter().skip(1)) {
             assert!(
-                (pair[0].start(), pair[0].id()) < (pair[1].start(), pair[1].id()),
+                (a.start(), a.id()) < (b.start(), b.id()),
                 "merge must emit strictly increasing (start, id)"
             );
         }

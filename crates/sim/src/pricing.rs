@@ -202,7 +202,7 @@ mod tests {
             pricing.observe(node(0), 1.0);
         }
         let repriced = pricing.reprice(&list);
-        let new_slot = repriced.as_slice()[0];
+        let new_slot = *repriced.iter().next().unwrap();
         assert!(new_slot.price() > Price::from_credits(4));
         assert_eq!(new_slot.span(), slot.span());
         assert_eq!(new_slot.perf(), slot.perf());

@@ -183,14 +183,15 @@ impl RevocationModel {
 
         if self.config.price_burst > 0.0 && draw_bool(rng, self.config.price_burst) {
             let take = (self.config.burst_fraction * list.len() as f64).ceil() as usize;
+            let slots: Vec<&Slot> = list.iter().collect();
             // Most expensive first; ties broken by id for determinism.
             let mut by_price: Vec<usize> = (0..list.len()).filter(|&i| !revoked[i]).collect();
             by_price.sort_by_key(|&i| {
-                let slot = &list.as_slice()[i];
+                let slot = slots[i];
                 (std::cmp::Reverse(slot.price()), slot.id())
             });
             for &i in by_price.iter().take(take) {
-                let slot = &list.as_slice()[i];
+                let slot = slots[i];
                 revoked[i] = true;
                 revocations.push(Revocation {
                     slot: slot.id(),

@@ -139,9 +139,9 @@ mod tests {
         // are statistically certain across a handful of seeds.
         let list = generate(5);
         let shares = list
-            .as_slice()
-            .windows(2)
-            .filter(|w| w[0].start() == w[1].start())
+            .iter()
+            .zip(list.iter().skip(1))
+            .filter(|(a, b)| a.start() == b.start())
             .count();
         assert!(shares > 10, "only {shares} shared starts");
     }

@@ -70,11 +70,11 @@ fn same_start_clustering_emerges_from_local_flows() {
     let mut total = 0usize;
     for seed in 0..10 {
         let list = derived_list(seed);
-        let slots = list.as_slice();
-        total += slots.len().saturating_sub(1);
-        shared += slots
-            .windows(2)
-            .filter(|w| w[0].start() == w[1].start())
+        total += list.len().saturating_sub(1);
+        shared += list
+            .iter()
+            .zip(list.iter().skip(1))
+            .filter(|(a, b)| a.start() == b.start())
             .count();
     }
     let share = shared as f64 / total as f64;

@@ -47,7 +47,7 @@ impl SlotSelector for OverhangSelector {
         _request: &ResourceRequest,
         _stats: &mut ScanStats,
     ) -> Option<Window> {
-        let victim = list.as_slice().first()?;
+        let victim = list.iter().next()?;
         // Claim the slot for twice its actual length.
         let runtime = victim.length() * 2;
         let ws = WindowSlot::from_slot(victim, runtime).unwrap();
