@@ -51,6 +51,7 @@ use rand_chacha::{ChaCha8Rng, ChaChaState};
 
 use crate::config::{ArrivalConfig, EngineConfig};
 use crate::event::{fnv1a_64, Event, EventLog, LogEntry};
+use crate::obs::{EngineObs, StepGauges};
 use crate::queue::EventQueue;
 use crate::report::{CyclePoint, EngineReport};
 use crate::state::{
@@ -402,6 +403,9 @@ impl RunState {
 pub struct Engine<S> {
     config: EngineConfig,
     selector: S,
+    /// Observability handle — runtime state like the thread budget:
+    /// never serialized, absent from the fingerprint and checkpoints.
+    obs: EngineObs,
 }
 
 impl<S: SlotSelector + Copy> Engine<S> {
@@ -412,7 +416,31 @@ impl<S: SlotSelector + Copy> Engine<S> {
     /// Returns [`ConfigError`] naming the first invalid field.
     pub fn new(config: EngineConfig, selector: S) -> Result<Self, ConfigError> {
         config.validate()?;
-        Ok(Engine { config, selector })
+        Ok(Engine {
+            config,
+            selector,
+            obs: EngineObs::off(),
+        })
+    }
+
+    /// Attaches an observability handle (builder style). Purely an
+    /// execution knob: a recorder-on engine produces byte-identical
+    /// logs and reports to a recorder-off one.
+    #[must_use]
+    pub fn with_obs(mut self, obs: EngineObs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Replaces the observability handle in place.
+    pub fn set_obs(&mut self, obs: EngineObs) {
+        self.obs = obs;
+    }
+
+    /// The observability handle in use.
+    #[must_use]
+    pub fn obs(&self) -> &EngineObs {
+        &self.obs
     }
 
     /// The configuration in use.
@@ -533,7 +561,24 @@ impl<S: SlotSelector + Copy> Engine<S> {
             return Ok(None);
         };
         state.log.push(now.ticks(), seq, event);
+        let snap = self.obs.pre_step(&state.report);
         self.handle(state, now, event)?;
+        self.obs.post_step(
+            snap,
+            &state.report,
+            StepGauges {
+                now: now.ticks(),
+                backlog: state.pending.len(),
+                queue_depth: state.queue.len(),
+                active_leases: state.leases.len(),
+                vacant_slots: state.vacant.len(),
+                utilization: if state.published_ticks > 0 {
+                    state.busy_ticks as f64 / state.published_ticks as f64
+                } else {
+                    0.0
+                },
+            },
+        );
         Ok(Some(LogEntry {
             time: now.ticks(),
             seq,
@@ -1057,6 +1102,11 @@ impl<S: SlotSelector + Copy> Engine<S> {
                     .filter(|(i, _)| chosen[*i].is_none())
                     .map(|(_, p)| *p)
                     .collect();
+                let cycle_mean_wait = if committed > 0 {
+                    cycle_wait as f64 / committed as f64
+                } else {
+                    0.0
+                };
                 state.report.cycles.push(CyclePoint {
                     cycle,
                     time: now.ticks(),
@@ -1064,13 +1114,17 @@ impl<S: SlotSelector + Copy> Engine<S> {
                     batch_size: state.pending.len(),
                     scheduled: committed,
                     postponed: carried.len(),
-                    mean_wait: if committed > 0 {
-                        cycle_wait as f64 / committed as f64
-                    } else {
-                        0.0
-                    },
+                    mean_wait: cycle_mean_wait,
                     spend: cycle_spend,
                 });
+                self.obs.on_cycle(
+                    now.ticks(),
+                    &result.search.stats,
+                    &result.opt,
+                    state.pending.len(),
+                    committed,
+                    cycle_mean_wait,
+                );
                 state.pending = carried;
                 state.vacant = exec;
             }
@@ -1146,6 +1200,7 @@ impl<S: SlotSelector + Copy> Engine<S> {
                 }
 
                 // Three-tier recovery, in lease-id (commitment) order.
+                self.obs.on_repair(now.ticks(), broken.len());
                 for id in broken {
                     let original = state.leases.remove(&id).expect("broken ids are live");
                     let mut attempts: u32 = 0;

@@ -22,6 +22,7 @@
 pub mod config;
 pub mod engine;
 pub mod event;
+pub mod obs;
 pub mod queue;
 pub mod report;
 pub mod state;
@@ -29,6 +30,7 @@ pub mod state;
 pub use config::{ArrivalConfig, EngineConfig};
 pub use engine::{Engine, EngineError, EngineRun, Reservation, ReserveError, RunState};
 pub use event::{fnv1a_64, Event, EventLog, LogEntry};
+pub use obs::{EngineIds, EngineObs};
 pub use queue::EventQueue;
 pub use report::{CyclePoint, EngineReport};
 pub use state::{

@@ -1,0 +1,175 @@
+//! The observability A/B contract: attaching a live recorder must be
+//! invisible to the run — byte-identical event logs and reports across
+//! calm, churn, coscheduled, and threaded configurations — while the
+//! registry itself fills with counters that agree with the report.
+
+use ecosched_engine::{ArrivalConfig, Engine, EngineConfig, EngineIds, EngineObs};
+use ecosched_obs::{Recorder, RegistryBuilder};
+use ecosched_select::Amp;
+use ecosched_sim::{IterationConfig, JobGenConfig, RevocationConfig, SearchMode};
+
+fn base_config() -> EngineConfig {
+    EngineConfig {
+        cycles: 5,
+        arrivals: ArrivalConfig::Poisson {
+            mean_interarrival: 8.0,
+            jobs: 20,
+            job_gen: JobGenConfig::default(),
+        },
+        ..EngineConfig::default()
+    }
+}
+
+fn churn_config() -> EngineConfig {
+    EngineConfig {
+        revocation: RevocationConfig::per_slot(0.05),
+        ..base_config()
+    }
+}
+
+fn observed_engine(config: EngineConfig) -> Engine<Amp> {
+    let mut b = RegistryBuilder::new();
+    let ids = EngineIds::register(&mut b, None);
+    let rec = Recorder::new(b.build());
+    Engine::new(config, Amp::new())
+        .expect("valid config")
+        .with_obs(EngineObs::new(rec, ids))
+}
+
+/// Runs the same `(config, seed)` with the recorder off and on, asserts
+/// byte-identity, and returns the observed engine for registry checks.
+fn assert_recorder_invisible(config: EngineConfig, seed: u64) -> Engine<Amp> {
+    let plain = Engine::new(config.clone(), Amp::new()).expect("valid config");
+    let observed = observed_engine(config);
+    assert_eq!(
+        plain.config_fingerprint(),
+        observed.config_fingerprint(),
+        "the fingerprint must not see the recorder"
+    );
+    let a = plain.run(seed).expect("plain run");
+    let b = observed.run(seed).expect("observed run");
+    assert_eq!(a.log.to_json(), b.log.to_json());
+    assert_eq!(a.log.fnv1a_hash(), b.log.fnv1a_hash());
+    assert_eq!(a.report.to_json(), b.report.to_json());
+    observed
+}
+
+#[test]
+fn recorder_is_outcome_invisible_calm() {
+    let engine = assert_recorder_invisible(base_config(), 42);
+    let run = engine.run(42).expect("observed run");
+    let reg = engine
+        .obs()
+        .recorder()
+        .expect("recorder attached")
+        .registry()
+        .expect("recorder on");
+    // Two observed runs happened on this registry; counters are their sum.
+    let arrived = reg
+        .find_counter("ecosched_engine_jobs_arrived_total", &[])
+        .expect("registered");
+    assert_eq!(reg.counter_value(arrived), 2 * run.report.jobs_arrived);
+    let events = reg
+        .find_counter("ecosched_engine_events_total", &[])
+        .expect("registered");
+    assert_eq!(reg.counter_value(events), 2 * run.report.event_count);
+    let scheduled = reg
+        .find_counter("ecosched_engine_jobs_scheduled_total", &[])
+        .expect("registered");
+    assert_eq!(reg.counter_value(scheduled), 2 * run.report.jobs_scheduled);
+    let solves = reg
+        .find_counter("ecosched_engine_opt_solves_total", &[])
+        .expect("registered");
+    assert_eq!(reg.counter_value(solves), 2 * run.report.opt.solves);
+    let examined = reg
+        .find_counter("ecosched_engine_scan_slots_examined_total", &[])
+        .expect("registered");
+    assert!(
+        reg.counter_value(examined) > 0,
+        "cycles must feed scan stats into the registry"
+    );
+}
+
+#[test]
+fn recorder_is_outcome_invisible_churn() {
+    let engine = assert_recorder_invisible(churn_config(), 42);
+    let reg = engine
+        .obs()
+        .recorder()
+        .expect("recorder attached")
+        .registry()
+        .expect("recorder on");
+    let revocations = reg
+        .find_counter("ecosched_engine_revocations_total", &[])
+        .expect("registered");
+    assert!(
+        reg.counter_value(revocations) > 0,
+        "churn must record revocations"
+    );
+    let tracer = engine
+        .obs()
+        .recorder()
+        .expect("recorder attached")
+        .tracer()
+        .expect("recorder on");
+    let spans = tracer.spans();
+    assert!(spans.iter().any(|s| s.kind == "cycle"));
+    assert!(spans.iter().any(|s| s.kind == "scan"));
+    assert!(spans.iter().any(|s| s.kind == "optimize"));
+    assert!(spans.iter().any(|s| s.kind == "commit"));
+    assert!(spans.iter().any(|s| s.kind == "repair"));
+    // Child spans link back to their cycle parent.
+    let cycle_ids: Vec<u64> = spans
+        .iter()
+        .filter(|s| s.kind == "cycle")
+        .map(|s| s.id)
+        .collect();
+    assert!(spans
+        .iter()
+        .filter(|s| s.kind == "scan")
+        .all(|s| s.parent.is_some_and(|p| cycle_ids.contains(&p))));
+}
+
+#[test]
+fn recorder_is_outcome_invisible_coscheduled() {
+    let config = EngineConfig {
+        iteration: IterationConfig {
+            search_mode: SearchMode::Coscheduled,
+            ..IterationConfig::default()
+        },
+        ..base_config()
+    };
+    assert_recorder_invisible(config, 42);
+}
+
+#[test]
+fn recorder_is_outcome_invisible_threaded() {
+    let config = EngineConfig {
+        threads: 4,
+        ..churn_config()
+    };
+    assert_recorder_invisible(config, 42);
+}
+
+#[test]
+fn recorder_survives_checkpoint_resume_untouched() {
+    // Checkpoints must not carry (or require) the recorder: a checkpoint
+    // taken on an observed run resumes on an unobserved engine and
+    // converges to the same log.
+    let observed = observed_engine(churn_config());
+    let plain = Engine::new(churn_config(), Amp::new()).expect("valid config");
+    let mut state = observed.start(42);
+    for _ in 0..40 {
+        if observed.step(&mut state).expect("step").is_none() {
+            break;
+        }
+    }
+    let checkpoint = observed.checkpoint(&state);
+    let mut resumed = plain.resume(&checkpoint).expect("resume without recorder");
+    while observed.step(&mut state).expect("step").is_some() {}
+    while plain.step(&mut resumed).expect("step").is_some() {}
+    let a = observed.finish(state);
+    let b = plain.finish(resumed);
+    assert_eq!(a.log.to_json(), b.log.to_json());
+    assert_eq!(a.report.to_json(), b.report.to_json());
+}

@@ -35,17 +35,24 @@
 //!   federation determinism contract, are byte-identical to the
 //!   uninterrupted run's. CI kills a run mid-flight, resumes it, and
 //!   diffs exactly these lines.
+//!
+//! `--metrics-dump PATH` (single-cell and resume modes) attaches a live
+//! metrics recorder across the federation and its shard engines and
+//! writes the final registry as JSON to `PATH` next to the printed
+//! report. Observe-only: the hash and report lines are byte-identical
+//! with or without it.
 
 use std::path::{Path, PathBuf};
 
-use ecosched_engine::{Engine, Event};
+use ecosched_engine::{Engine, EngineIds, EngineObs, Event};
 use ecosched_experiments::arg_value;
 use ecosched_experiments::federation::{
     base_config, fed_config, federation_table, run_federation_sweep, FEDERATION_GAPS,
     FEDERATION_SHARDS,
 };
 use ecosched_experiments::online::OnlineConfig;
-use ecosched_federation::{Federation, FederationRun};
+use ecosched_federation::{FedIds, Federation, FederationObs, FederationRun};
+use ecosched_obs::{Recorder, RegistryBuilder};
 use ecosched_persist::{read_federated_snapshot, write_federated_snapshot};
 use ecosched_select::Amp;
 
@@ -201,8 +208,25 @@ fn main() {
     if single || resume.is_some() || kill_at.is_some() || snapshot_every > 0 {
         let shards: u32 = arg_value("--shards").unwrap_or(4);
         let mean_gap: f64 = arg_value("--mean-gap").unwrap_or(5.0);
-        let fed = Federation::new(fed_config(&config, shards, mean_gap), Amp::new())
+        let metrics_dump: Option<PathBuf> =
+            arg_value::<String>("--metrics-dump").map(PathBuf::from);
+        let mut recorder: Option<Recorder> = None;
+        let mut fed = Federation::new(fed_config(&config, shards, mean_gap), Amp::new())
             .unwrap_or_else(|e| fail(format!("federation config: {e}")));
+        if metrics_dump.is_some() {
+            let mut b = RegistryBuilder::new();
+            let fed_ids = FedIds::register(&mut b, shards as usize);
+            let shard_ids: Vec<EngineIds> = (0..shards)
+                .map(|s| EngineIds::register(&mut b, Some(s)))
+                .collect();
+            let rec = Recorder::new(b.build());
+            let shard_obs = shard_ids
+                .into_iter()
+                .map(|ids| EngineObs::new(rec.clone(), ids))
+                .collect();
+            fed = fed.with_obs(FederationObs::new(rec.clone(), fed_ids), shard_obs);
+            recorder = Some(rec);
+        }
         match &resume {
             Some(path) => resume_flow(&fed, shards, mean_gap, path),
             None => single_flow(
@@ -214,6 +238,14 @@ fn main() {
                 snapshot_path.as_deref(),
                 kill_at,
             ),
+        }
+        if let (Some(path), Some(rec)) = (&metrics_dump, &recorder) {
+            if let Some(registry) = rec.registry() {
+                if let Err(e) = std::fs::write(path, registry.render_json()) {
+                    fail(format!("writing metrics dump {}: {e}", path.display()));
+                }
+                eprintln!("metrics registry dumped to {}", path.display());
+            }
         }
         return;
     }

@@ -53,16 +53,22 @@
 //!   by the determinism contract, are byte-identical to the
 //!   uninterrupted run's. CI kills a run mid-flight, resumes it, and
 //!   diffs exactly these lines.
+//!
+//! `--metrics-dump PATH` (single-cell and resume modes) attaches a live
+//! metrics recorder to the engine and writes the final registry as JSON
+//! to `PATH` next to the printed report. The recorder is observe-only:
+//! the hash and report lines are byte-identical with or without it.
 
 use std::path::{Path, PathBuf};
 
-use ecosched_engine::{Engine, EngineReport, Event, EventLog};
+use ecosched_engine::{Engine, EngineIds, EngineObs, EngineReport, Event, EventLog};
 use ecosched_experiments::arg_value;
 use ecosched_experiments::online::{
     batch_table, engine_config, online_table, run_batch_baseline, run_online, run_saturation,
     saturation_table, OnlineConfig, SATURATION_GAPS,
 };
 use ecosched_experiments::trace::{parse_swf, run_trace, trace_config, trace_table};
+use ecosched_obs::{Recorder, RegistryBuilder};
 use ecosched_persist::{decode_snapshot, resume_from, write_snapshot};
 use ecosched_select::{Alp, Amp, SlotSelector};
 
@@ -85,6 +91,32 @@ fn print_cell(scenario: &str, algo: &str, report: &EngineReport) {
 /// The surviving-log path that rides along with a snapshot file.
 fn log_path(snapshot: &Path) -> PathBuf {
     PathBuf::from(format!("{}.log.json", snapshot.display()))
+}
+
+/// A live recorder for one single-cell engine when `--metrics-dump` was
+/// given; [`dump_metrics`] writes its registry out at the end.
+fn metrics_recorder(dump: Option<&Path>) -> (Option<Recorder>, EngineObs) {
+    if dump.is_none() {
+        return (None, EngineObs::off());
+    }
+    let mut b = RegistryBuilder::new();
+    let ids = EngineIds::register(&mut b, None);
+    let rec = Recorder::new(b.build());
+    (Some(rec.clone()), EngineObs::new(rec, ids))
+}
+
+/// Writes the final registry as JSON next to the report.
+fn dump_metrics(dump: Option<&Path>, recorder: &Option<Recorder>) {
+    let (Some(path), Some(rec)) = (dump, recorder) else {
+        return;
+    };
+    let Some(registry) = rec.registry() else {
+        return;
+    };
+    if let Err(e) = std::fs::write(path, registry.render_json()) {
+        fail(format!("writing metrics dump {}: {e}", path.display()));
+    }
+    eprintln!("metrics registry dumped to {}", path.display());
 }
 
 /// Runs one cell, optionally snapshotting every N-th cycle commit and
@@ -268,13 +300,20 @@ fn main() {
 
     if single || resume.is_some() || kill_at.is_some() || snapshot_every > 0 {
         let engine_cfg = engine_config(&config, scenario == "churn");
+        let metrics_dump: Option<PathBuf> =
+            arg_value::<String>("--metrics-dump").map(PathBuf::from);
+        let (recorder, obs) = metrics_recorder(metrics_dump.as_deref());
         match (algo.as_str(), &resume) {
             ("ALP", Some(path)) => {
-                let engine = Engine::new(engine_cfg, Alp::new()).expect("valid config");
+                let engine = Engine::new(engine_cfg, Alp::new())
+                    .expect("valid config")
+                    .with_obs(obs);
                 resume_flow(&engine, &scenario, &algo, path);
             }
             ("ALP", None) => {
-                let engine = Engine::new(engine_cfg, Alp::new()).expect("valid config");
+                let engine = Engine::new(engine_cfg, Alp::new())
+                    .expect("valid config")
+                    .with_obs(obs);
                 single_flow(
                     &engine,
                     &scenario,
@@ -286,11 +325,15 @@ fn main() {
                 );
             }
             (_, Some(path)) => {
-                let engine = Engine::new(engine_cfg, Amp::new()).expect("valid config");
+                let engine = Engine::new(engine_cfg, Amp::new())
+                    .expect("valid config")
+                    .with_obs(obs);
                 resume_flow(&engine, &scenario, &algo, path);
             }
             (_, None) => {
-                let engine = Engine::new(engine_cfg, Amp::new()).expect("valid config");
+                let engine = Engine::new(engine_cfg, Amp::new())
+                    .expect("valid config")
+                    .with_obs(obs);
                 single_flow(
                     &engine,
                     &scenario,
@@ -302,6 +345,7 @@ fn main() {
                 );
             }
         }
+        dump_metrics(metrics_dump.as_deref(), &recorder);
         return;
     }
 

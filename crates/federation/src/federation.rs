@@ -35,7 +35,9 @@ use serde::{Deserialize, Serialize};
 use crate::coalloc::{split_nodes, CrossShardPart, CrossShardWindow, ReservedPart};
 use crate::config::{FederationConfig, RoutePolicy};
 use crate::merge::{merge_shard_logs, FederatedLogEntry, FederationLog};
+use crate::obs::FederationObs;
 use crate::report::{FederationReport, RouteCounters};
+use ecosched_engine::EngineObs;
 
 /// Errors from a federated run.
 #[derive(Debug)]
@@ -308,6 +310,9 @@ pub struct Federation<S> {
     /// single shard).
     base: Engine<S>,
     shards: Vec<Engine<S>>,
+    /// Observability handle — runtime state like the engine's: never
+    /// serialized, absent from the fingerprint and checkpoints.
+    obs: FederationObs,
 }
 
 impl<S: SlotSelector + Copy> Federation<S> {
@@ -327,7 +332,38 @@ impl<S: SlotSelector + Copy> Federation<S> {
             selector,
             base,
             shards,
+            obs: FederationObs::off(),
         })
+    }
+
+    /// Attaches observability: a federation-level handle for routing
+    /// counters and shard gauges, plus one engine handle per shard
+    /// (pass [`EngineObs::off`] entries to skip shards). Extra entries
+    /// beyond the shard count are ignored.
+    #[must_use]
+    pub fn with_obs(mut self, fed: FederationObs, shard_obs: Vec<EngineObs>) -> Self {
+        self.obs = fed;
+        for (engine, obs) in self.shards.iter_mut().zip(shard_obs) {
+            engine.set_obs(obs);
+        }
+        self
+    }
+
+    /// In-place form of [`Self::with_obs`], for callers that built the
+    /// federation before the recorder (the service session attaches
+    /// observability only after boot replay, so recovery is never
+    /// recorded as live traffic).
+    pub fn set_obs(&mut self, fed: FederationObs, shard_obs: Vec<EngineObs>) {
+        self.obs = fed;
+        for (engine, obs) in self.shards.iter_mut().zip(shard_obs) {
+            engine.set_obs(obs);
+        }
+    }
+
+    /// The federation-level observability handle.
+    #[must_use]
+    pub fn obs(&self) -> &FederationObs {
+        &self.obs
     }
 
     /// The configuration in use.
@@ -475,6 +511,7 @@ impl<S: SlotSelector + Copy> Federation<S> {
                     let fed_job = state.next_fed_job;
                     state.next_fed_job += 1;
                     self.place(state, fed_job, request, at)?;
+                    self.obs.sync(state);
                 }
                 Some(NextAction::Step(shard)) => {
                     let Some((time, _, _)) = state.next_event_key() else {
@@ -502,6 +539,7 @@ impl<S: SlotSelector + Copy> Federation<S> {
                         event: entry.event,
                     };
                     state.merged.push(fed);
+                    self.obs.sync(state);
                     return Ok(Some(fed));
                 }
             }
@@ -539,6 +577,7 @@ impl<S: SlotSelector + Copy> Federation<S> {
         let fed_job = state.next_fed_job;
         state.next_fed_job += 1;
         let placement = self.place(state, fed_job, request, eff)?;
+        self.obs.sync(state);
         Ok((fed_job, placement))
     }
 
@@ -585,7 +624,9 @@ impl<S: SlotSelector + Copy> Federation<S> {
         }
         state.next_fed_job += 1;
         state.counters.routed[index] += 1;
-        Ok(self.shards[index].submit(&mut state.shards[index], request, at))
+        let landed = self.shards[index].submit(&mut state.shards[index], request, at);
+        self.obs.sync(state);
+        Ok(landed)
     }
 
     /// Routes one job: picks a shard under the policy, or — when

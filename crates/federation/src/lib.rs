@@ -26,6 +26,7 @@ pub mod coalloc;
 pub mod config;
 pub mod federation;
 pub mod merge;
+pub mod obs;
 pub mod report;
 
 pub use coalloc::{split_nodes, CrossShardPart, CrossShardWindow, ReservedPart};
@@ -34,4 +35,5 @@ pub use federation::{
     Federation, FederationCheckpoint, FederationError, FederationRun, FederationState, Placement,
 };
 pub use merge::{merge_shard_logs, FederatedLogEntry, FederationLog};
+pub use obs::{FedIds, FederationObs};
 pub use report::{FederationReport, RouteCounters};

@@ -1,0 +1,271 @@
+//! Rendering the frozen registry: Prometheus text exposition format
+//! 0.0.4 for `GET /metrics`, and an ordered JSON tree for
+//! `--metrics-dump` files and `GET /healthz` payloads.
+//!
+//! Rendering walks the atomic cells with relaxed loads — a scrape is a
+//! point-in-time sample, not a consistent snapshot, and never blocks a
+//! recording thread.
+
+use std::fmt::Write as _;
+use std::sync::atomic::Ordering;
+
+use serde::Value;
+
+use crate::registry::{MetricMeta, Registry};
+
+/// Escapes a label value per the exposition format (backslash, quote,
+/// newline).
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Renders `{k="v",…}` (empty string when there are no labels), with an
+/// optional extra label appended (the histogram `le`).
+fn render_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+fn render_f64(value: f64) -> String {
+    if value == value.trunc() && value.abs() < 1e15 {
+        format!("{value:.0}")
+    } else {
+        format!("{value}")
+    }
+}
+
+/// Groups metrics by name so `# HELP`/`# TYPE` headers appear once per
+/// family even when it has many label sets.
+fn header_needed(prev: Option<&str>, name: &str) -> bool {
+    prev != Some(name)
+}
+
+impl Registry {
+    /// Renders every metric in the Prometheus text exposition format
+    /// (version 0.0.4): `# HELP` / `# TYPE` headers per family, counter
+    /// and gauge samples, and cumulative `_bucket{le=…}` / `_sum` /
+    /// `_count` series per histogram.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut prev: Option<&str> = None;
+        for c in &self.counters {
+            if header_needed(prev, &c.meta.name) {
+                let _ = writeln!(out, "# HELP {} {}", c.meta.name, c.meta.help);
+                let _ = writeln!(out, "# TYPE {} counter", c.meta.name);
+                prev = Some(&c.meta.name);
+            }
+            let _ = writeln!(
+                out,
+                "{}{} {}",
+                c.meta.name,
+                render_labels(&c.meta.labels, None),
+                c.value.load(Ordering::Relaxed)
+            );
+        }
+        prev = None;
+        for g in &self.gauges {
+            if header_needed(prev, &g.meta.name) {
+                let _ = writeln!(out, "# HELP {} {}", g.meta.name, g.meta.help);
+                let _ = writeln!(out, "# TYPE {} gauge", g.meta.name);
+                prev = Some(&g.meta.name);
+            }
+            let _ = writeln!(
+                out,
+                "{}{} {}",
+                g.meta.name,
+                render_labels(&g.meta.labels, None),
+                render_f64(f64::from_bits(g.value.load(Ordering::Relaxed)))
+            );
+        }
+        prev = None;
+        for h in &self.histograms {
+            if header_needed(prev, &h.meta.name) {
+                let _ = writeln!(out, "# HELP {} {}", h.meta.name, h.meta.help);
+                let _ = writeln!(out, "# TYPE {} histogram", h.meta.name);
+                prev = Some(&h.meta.name);
+            }
+            let mut cumulative: u64 = 0;
+            for (i, bound) in h.bounds.iter().enumerate() {
+                cumulative = cumulative.saturating_add(h.counts[i].load(Ordering::Relaxed));
+                let le = bound.to_string();
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {cumulative}",
+                    h.meta.name,
+                    render_labels(&h.meta.labels, Some(("le", &le)))
+                );
+            }
+            cumulative =
+                cumulative.saturating_add(h.counts[h.bounds.len()].load(Ordering::Relaxed));
+            let _ = writeln!(
+                out,
+                "{}_bucket{} {cumulative}",
+                h.meta.name,
+                render_labels(&h.meta.labels, Some(("le", "+Inf")))
+            );
+            let _ = writeln!(
+                out,
+                "{}_sum{} {}",
+                h.meta.name,
+                render_labels(&h.meta.labels, None),
+                h.sum.load(Ordering::Relaxed)
+            );
+            let _ = writeln!(
+                out,
+                "{}_count{} {}",
+                h.meta.name,
+                render_labels(&h.meta.labels, None),
+                h.observations.load(Ordering::Relaxed)
+            );
+        }
+        out
+    }
+
+    /// Renders the registry as an ordered JSON [`Value`] tree:
+    /// `{"counters": [...], "gauges": [...], "histograms": [...]}` with
+    /// one `{name, labels, value}` object per metric.
+    #[must_use]
+    pub fn snapshot_value(&self) -> Value {
+        fn labels_value(meta: &MetricMeta) -> Value {
+            Value::Map(
+                meta.labels
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+                    .collect(),
+            )
+        }
+        let counters: Vec<Value> = self
+            .counters
+            .iter()
+            .map(|c| {
+                Value::Map(vec![
+                    ("name".into(), Value::Str(c.meta.name.clone())),
+                    ("labels".into(), labels_value(&c.meta)),
+                    ("value".into(), Value::UInt(c.value.load(Ordering::Relaxed))),
+                ])
+            })
+            .collect();
+        let gauges: Vec<Value> = self
+            .gauges
+            .iter()
+            .map(|g| {
+                Value::Map(vec![
+                    ("name".into(), Value::Str(g.meta.name.clone())),
+                    ("labels".into(), labels_value(&g.meta)),
+                    (
+                        "value".into(),
+                        Value::Float(f64::from_bits(g.value.load(Ordering::Relaxed))),
+                    ),
+                ])
+            })
+            .collect();
+        let histograms: Vec<Value> = self
+            .histograms
+            .iter()
+            .map(|h| {
+                let buckets: Vec<Value> = h.bounds.iter().map(|b| Value::UInt(*b)).collect();
+                let counts: Vec<Value> = h
+                    .counts
+                    .iter()
+                    .map(|c| Value::UInt(c.load(Ordering::Relaxed)))
+                    .collect();
+                Value::Map(vec![
+                    ("name".into(), Value::Str(h.meta.name.clone())),
+                    ("labels".into(), labels_value(&h.meta)),
+                    ("bounds".into(), Value::Seq(buckets)),
+                    ("counts".into(), Value::Seq(counts)),
+                    ("sum".into(), Value::UInt(h.sum.load(Ordering::Relaxed))),
+                    (
+                        "count".into(),
+                        Value::UInt(h.observations.load(Ordering::Relaxed)),
+                    ),
+                ])
+            })
+            .collect();
+        Value::Map(vec![
+            ("counters".into(), Value::Seq(counters)),
+            ("gauges".into(), Value::Seq(gauges)),
+            ("histograms".into(), Value::Seq(histograms)),
+        ])
+    }
+
+    /// The JSON snapshot as a pretty-printed string.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        serde_json::to_string_pretty(&self.snapshot_value()).unwrap_or_else(|_| "{}".to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry::{Buckets, RegistryBuilder};
+
+    #[test]
+    fn prometheus_text_covers_every_kind() {
+        let mut b = RegistryBuilder::new();
+        let c = b.counter_with("jobs_total", "Jobs seen", &[("shard", "0")]);
+        let g = b.gauge("backlog", "Live backlog");
+        let h = b.histogram("lat_us", "Latency (µs)", Buckets::explicit(&[1, 10, 100]));
+        let reg = b.build();
+        reg.counter_add(c, 7);
+        reg.gauge_set(g, 3.0);
+        reg.observe(h, 5);
+        reg.observe(h, 5000);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE jobs_total counter"));
+        assert!(text.contains("jobs_total{shard=\"0\"} 7"));
+        assert!(text.contains("# TYPE backlog gauge"));
+        assert!(text.contains("backlog 3"));
+        assert!(text.contains("# TYPE lat_us histogram"));
+        assert!(text.contains("lat_us_bucket{le=\"1\"} 0"));
+        assert!(text.contains("lat_us_bucket{le=\"10\"} 1"));
+        assert!(text.contains("lat_us_bucket{le=\"100\"} 1"));
+        assert!(text.contains("lat_us_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("lat_us_sum 5005"));
+        assert!(text.contains("lat_us_count 2"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut b = RegistryBuilder::new();
+        let c = b.counter_with("esc_total", "escaping", &[("p", "a\"b\\c\nd")]);
+        let reg = b.build();
+        reg.counter_inc(c);
+        let text = reg.render_prometheus();
+        assert!(text.contains("esc_total{p=\"a\\\"b\\\\c\\nd\"} 1"));
+    }
+
+    #[test]
+    fn json_snapshot_round_trips_through_serde_json() {
+        let mut b = RegistryBuilder::new();
+        let c = b.counter("n_total", "n");
+        b.histogram("h", "h", Buckets::pow2(1, 3));
+        let reg = b.build();
+        reg.counter_add(c, 3);
+        let json = reg.render_json();
+        let parsed: serde::Value = serde_json::from_str(&json).expect("valid JSON");
+        let top = parsed.as_map().expect("top-level map");
+        assert!(top.iter().any(|(k, _)| k == "counters"));
+        assert!(top.iter().any(|(k, _)| k == "histograms"));
+    }
+}

@@ -4,6 +4,7 @@
 //! ecosched-load --connect tcp:HOST:PORT|unix:PATH --jobs N
 //!     [--threads T] [--timeout-ms MS] [--acked-out FILE]
 //!     [--nodes N] [--wall T] [--price-cap-micro P] [--deadline-slack T]
+//!     [--json]
 //! ```
 //!
 //! Each worker thread keeps exactly one request in flight (closed
@@ -12,7 +13,9 @@
 //! rejected-by-reason, or **lost** — an I/O error or timeout after the
 //! request was written, meaning the client cannot know whether the
 //! daemon acked (exactly the window the crash harness SIGKILLs in).
-//! The summary line reports counts and p50/p99/max ack latency.
+//! The summary line reports counts and p50/p99/max ack latency;
+//! `--json` emits the same summary as one machine-readable JSON line
+//! instead.
 //!
 //! `--acked-out FILE` appends one `shard job_id time` line per accepted
 //! job —
@@ -36,13 +39,14 @@ struct Args {
     acked_out: Option<PathBuf>,
     spec: JobSpec,
     deadline_slack: Option<i64>,
+    json: bool,
 }
 
 fn usage(detail: &str) -> String {
     format!(
         "{detail}\nusage: ecosched-load --connect tcp:ADDR|unix:PATH --jobs N [--threads T]\n\
          \x20  [--timeout-ms MS] [--acked-out FILE] [--nodes N] [--wall T]\n\
-         \x20  [--price-cap-micro P] [--deadline-slack T]"
+         \x20  [--price-cap-micro P] [--deadline-slack T] [--json]"
     )
 }
 
@@ -53,6 +57,7 @@ fn parse_args() -> Result<Args, String> {
     let mut timeout = Duration::from_millis(2000);
     let mut acked_out = None;
     let mut deadline_slack = None;
+    let mut json = false;
     let mut spec = JobSpec {
         nodes: 2,
         wall_ticks: 30,
@@ -104,6 +109,7 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| usage("bad --deadline-slack"))?,
                 );
             }
+            "--json" => json = true,
             other => return Err(usage(&format!("unknown flag {other}"))),
         }
     }
@@ -116,6 +122,7 @@ fn parse_args() -> Result<Args, String> {
         acked_out,
         spec,
         deadline_slack,
+        json,
     })
 }
 
@@ -282,6 +289,32 @@ fn main() -> ExitCode {
     }
 
     let throughput = tally.accepted as f64 / elapsed.as_secs_f64().max(1e-9);
+    if args.json {
+        // One machine-readable line, schema-stable for CI assertions.
+        println!(
+            "{{\"accepted\":{},\"rejected\":{{\"total\":{},\"backlog\":{},\"budget\":{},\
+             \"deadline\":{},\"horizon\":{},\"other\":{}}},\"lost\":{},\
+             \"ack_latency_ms\":{{\"p50\":{:.3},\"p99\":{:.3},\"max\":{:.3}}},\
+             \"throughput_jobs_per_sec\":{:.1},\"elapsed_ms\":{}}}",
+            tally.accepted,
+            tally.rejected(),
+            tally.rejected_backlog,
+            tally.rejected_budget,
+            tally.rejected_deadline,
+            tally.rejected_horizon,
+            tally.rejected_other,
+            tally.lost,
+            percentile(&tally.latencies_us, 0.50),
+            percentile(&tally.latencies_us, 0.99),
+            tally
+                .latencies_us
+                .last()
+                .map_or(0.0, |&us| us as f64 / 1000.0),
+            throughput,
+            elapsed.as_millis()
+        );
+        return ExitCode::SUCCESS;
+    }
     println!(
         "LOAD accepted={} rejected={} (backlog={} budget={} deadline={} horizon={} other={}) \
          lost={} p50_ms={:.3} p99_ms={:.3} max_ms={:.3} throughput_jobs_per_sec={:.0} \

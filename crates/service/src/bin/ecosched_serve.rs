@@ -27,6 +27,7 @@ use ecosched_sim::RevocationConfig;
 struct Args {
     data_dir: PathBuf,
     listen: Option<Endpoint>,
+    metrics: Option<Endpoint>,
     verify: bool,
     manifest: ServiceManifest,
     ticks_per_sec: f64,
@@ -35,7 +36,8 @@ struct Args {
 fn usage(detail: &str) -> String {
     format!(
         "{detail}\nusage: ecosched-serve --data-dir DIR (--listen tcp:ADDR|unix:PATH | --verify)\n\
-         \x20  [--seed N] [--cycles N] [--cycle-length T] [--algo amp|alp] [--churn P]\n\
+         \x20  [--metrics tcp:ADDR|unix:PATH] [--seed N] [--cycles N] [--cycle-length T]\n\
+         \x20  [--algo amp|alp] [--churn P]\n\
          \x20  [--shards S] [--route round-robin|least-backlog|cheapest-probe]\n\
          \x20  [--ticks-per-sec F] [--snapshot-every N] [--keep-snapshots K]\n\
          \x20  [--max-backlog N] [--no-market-admission]"
@@ -45,6 +47,7 @@ fn usage(detail: &str) -> String {
 fn parse_args() -> Result<Args, String> {
     let mut data_dir: Option<PathBuf> = None;
     let mut listen: Option<Endpoint> = None;
+    let mut metrics: Option<Endpoint> = None;
     let mut verify = false;
     let mut manifest = ServiceManifest::default();
     let mut ticks_per_sec = 1000.0f64;
@@ -59,6 +62,9 @@ fn parse_args() -> Result<Args, String> {
             "--data-dir" => data_dir = Some(PathBuf::from(value("--data-dir")?)),
             "--listen" => {
                 listen = Some(Endpoint::parse(&value("--listen")?).map_err(|e| usage(&e))?)
+            }
+            "--metrics" => {
+                metrics = Some(Endpoint::parse(&value("--metrics")?).map_err(|e| usage(&e))?)
             }
             "--verify" => verify = true,
             "--seed" => {
@@ -135,6 +141,7 @@ fn parse_args() -> Result<Args, String> {
     Ok(Args {
         data_dir,
         listen,
+        metrics,
         verify,
         manifest,
         ticks_per_sec,
@@ -176,6 +183,7 @@ fn main() -> ExitCode {
         listen: args.listen.unwrap_or(Endpoint::Tcp("127.0.0.1:0".into())),
         ticks_per_sec: args.ticks_per_sec,
         manifest: Some(args.manifest),
+        metrics: args.metrics,
     };
     match serve(&options) {
         Ok(()) => ExitCode::SUCCESS,

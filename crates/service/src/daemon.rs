@@ -34,6 +34,8 @@ use ecosched_select::{Alp, Amp, SlotSelector};
 use crate::client::Endpoint;
 use crate::error::ServiceError;
 use crate::manifest::{load_manifest, save_manifest, SelectorChoice, ServiceManifest};
+use crate::metrics_http::spawn_metrics_listener;
+use crate::obs::build_service_obs;
 use crate::protocol::{decode_line, encode_line, RejectReason, Request, Response};
 use crate::session::Session;
 use crate::signals;
@@ -51,6 +53,10 @@ pub struct ServeOptions {
     /// stored manifest always wins (the engine identity is pinned);
     /// `None` means use [`ServiceManifest::default`] when fresh.
     pub manifest: Option<ServiceManifest>,
+    /// Where to expose `/metrics`, `/healthz`, and `/trace` over plain
+    /// HTTP/1.1; `None` disables observability entirely (the recorder
+    /// stays off and every instrumentation call is a no-op).
+    pub metrics: Option<Endpoint>,
 }
 
 /// One parsed request plus the channel its response goes back on.
@@ -93,6 +99,18 @@ fn serve_with<S: SlotSelector + Copy>(
     let mut session = Session::open(&options.data_dir, manifest, selector)?;
     signals::install_term_handler();
 
+    // Observability comes up after boot replay (recovery is not live
+    // traffic) and before READY, so a supervisor that saw READY can
+    // already scrape.
+    if let Some(metrics_endpoint) = &options.metrics {
+        let bundle = build_service_obs(session.state().shard_count());
+        let recorder = bundle.recorder.clone();
+        let service_obs = bundle.service.clone();
+        session.set_obs(bundle);
+        let bound = spawn_metrics_listener(metrics_endpoint, recorder, service_obs)?;
+        println!("METRICS {bound}");
+    }
+
     let (tx, rx) = mpsc::channel::<Inbound>();
     let ready_endpoint = spawn_listener(&options.listen, tx)?;
     // The READY line is the durability barrier for supervisors: the boot
@@ -122,8 +140,12 @@ fn serve_with<S: SlotSelector + Copy>(
             None => Duration::from_millis(50),
         };
         let mut batch = Vec::new();
+        let mut batch_start = Instant::now();
         match rx.recv_timeout(wait) {
             Ok(inbound) => {
+                // The ack-latency clock starts when the batch leaves the
+                // channel, not when the loop woke up idle.
+                batch_start = Instant::now();
                 batch.push(inbound);
                 while let Ok(more) = rx.try_recv() {
                     batch.push(more);
@@ -171,6 +193,7 @@ fn serve_with<S: SlotSelector + Copy>(
                 },
             };
             let _ = reply.send(response);
+            session.obs().observe_ack(batch_start.elapsed());
         }
 
         if !shutdown_replies.is_empty() || signals::term_requested() {

@@ -29,6 +29,8 @@ pub mod client;
 pub mod daemon;
 pub mod error;
 pub mod manifest;
+pub mod metrics_http;
+pub mod obs;
 pub mod protocol;
 pub mod replay;
 pub mod session;
@@ -40,6 +42,8 @@ pub use client::{Client, Endpoint};
 pub use daemon::{serve, ServeOptions};
 pub use error::ServiceError;
 pub use manifest::{load_manifest, save_manifest, SelectorChoice, ServiceManifest};
+pub use metrics_http::spawn_metrics_listener;
+pub use obs::{build_service_obs, ServiceIds, ServiceObs, ServiceObsBundle};
 pub use protocol::{DaemonStatus, JobSpec, RejectReason, Request, Response};
 pub use replay::{replay_wal, verify_data_dir, VerifyReport};
 pub use session::{Ack, BootMode, Session};

@@ -51,6 +51,7 @@ use ecosched_select::SlotSelector;
 use crate::admission::{decide, MarketView};
 use crate::error::ServiceError;
 use crate::manifest::ServiceManifest;
+use crate::obs::{ServiceObs, ServiceObsBundle};
 use crate::protocol::{DaemonStatus, JobSpec, RejectReason};
 use crate::wal::{load_wal, Wal, WalEntry};
 
@@ -98,6 +99,10 @@ pub struct Session<S> {
     rejected_total: u64,
     draining: bool,
     boot_mode: BootMode,
+    /// Observability handle — runtime state, never serialized, off by
+    /// default (attach with [`Session::set_obs`] after boot so recovery
+    /// replay is not counted as live traffic).
+    obs: ServiceObs,
 }
 
 /// WAL file name inside a data directory.
@@ -251,7 +256,25 @@ impl<S: SlotSelector + Copy> Session<S> {
             rejected_total: 0,
             draining: false,
             boot_mode,
+            obs: ServiceObs::off(),
         })
+    }
+
+    /// Attaches a full observability bundle: the service handle here,
+    /// the federation and per-shard engine handles on the live
+    /// federation. Call after [`Self::open`] so boot replay is not
+    /// recorded as live traffic.
+    pub fn set_obs(&mut self, bundle: ServiceObsBundle) {
+        self.obs = bundle.service;
+        self.fed.set_obs(bundle.federation, bundle.shards);
+        self.obs
+            .set_progress(self.state.backlog(), self.virtual_time());
+    }
+
+    /// The service-layer observability handle.
+    #[must_use]
+    pub fn obs(&self) -> &ServiceObs {
+        &self.obs
     }
 
     /// How this session booted.
@@ -301,8 +324,10 @@ impl<S: SlotSelector + Copy> Session<S> {
     ///
     /// The typed rejection; nothing was staged or mutated.
     pub fn submit(&mut self, spec: &JobSpec, now: i64) -> Result<Ack, RejectReason> {
+        self.obs.on_submission();
         if self.draining {
             self.rejected_total += 1;
+            self.obs.on_reject(&RejectReason::ShuttingDown);
             return Err(RejectReason::ShuttingDown);
         }
         let markets: Vec<_> = (0..self.state.shard_count())
@@ -324,6 +349,7 @@ impl<S: SlotSelector + Copy> Session<S> {
             Ok(request) => request,
             Err(reason) => {
                 self.rejected_total += 1;
+                self.obs.on_reject(&reason);
                 return Err(reason);
             }
         };
@@ -337,12 +363,15 @@ impl<S: SlotSelector + Copy> Session<S> {
             Ok((_, Placement::Single { shard, job, time })) => (shard, job, time),
             Ok((_, Placement::Cross(_))) | Err(_) => {
                 self.rejected_total += 1;
-                return Err(RejectReason::Malformed {
+                let reason = RejectReason::Malformed {
                     detail: "internal routing failure (cross-shard placement in service mode)"
                         .into(),
-                });
+                };
+                self.obs.on_reject(&reason);
+                return Err(reason);
             }
         };
+        self.obs.on_accept();
         self.staged.push(WalEntry {
             shard,
             job,
@@ -366,7 +395,12 @@ impl<S: SlotSelector + Copy> Session<S> {
     /// already in live state but not durable, so the daemon must exit
     /// (clients were never acked; the restart recovers consistently).
     pub fn commit(&mut self) -> Result<Vec<Ack>, ServiceError> {
+        let fsync_start =
+            (!self.staged.is_empty() && self.obs.is_on()).then(std::time::Instant::now);
         self.wal.append_batch(&self.staged)?;
+        if let Some(start) = fsync_start {
+            self.obs.on_commit(self.staged.len(), start.elapsed());
+        }
         let acks = self
             .staged
             .drain(..)
@@ -412,6 +446,8 @@ impl<S: SlotSelector + Copy> Session<S> {
                 }
             }
         }
+        self.obs
+            .set_progress(self.state.backlog(), self.virtual_time());
         Ok(snapshots)
     }
 
@@ -421,7 +457,9 @@ impl<S: SlotSelector + Copy> Session<S> {
     ///
     /// Snapshot write failures.
     pub fn snapshot(&mut self) -> Result<PathBuf, ServiceError> {
-        Ok(self.store.save(&self.fed.checkpoint(&self.state))?)
+        let path = self.store.save(&self.fed.checkpoint(&self.state))?;
+        self.obs.on_snapshot();
+        Ok(path)
     }
 
     /// Commits, snapshots, and switches to draining: all later submits
